@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures.  Default sizes are
+scaled down (with ratio-preserving CPU/bandwidth scaling, see
+``repro.experiments.harness.scaled_spec``) so the suite completes on a
+laptop; set ``REPRO_FULL=1`` for the paper's actual 96³/144³ problems.
+
+Each benchmark prints the regenerated rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_report_header(config):
+    full = os.environ.get("REPRO_FULL", "0")
+    return f"repro benchmarks: REPRO_FULL={full} (1 = paper-size problems)"
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print helper that survives captured output (-s not required for
+    the data to end up in the benchmark's extra_info)."""
+    def _show(text):
+        print()
+        print(text)
+    return _show

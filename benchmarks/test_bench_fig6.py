@@ -1,0 +1,49 @@
+"""Figure 6 — obstacle problem 144³: the larger-granularity sweep.
+
+Same panels as Figure 5 at the bigger problem size, plus the paper's
+cross-figure claim: "When the problem size increases from n = 96 to
+n = 144, the efficiency of distributed methods increases since
+granularity increases."
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG5_N,
+    FIG6_N,
+    check_paper_claims,
+    figure_series,
+)
+from repro.experiments.harness import full_mode
+from repro.experiments.reporting import figure_report
+
+ALPHAS = (1, 2, 4, 8, 16, 24) if full_mode() else (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def fig6_series():
+    return figure_series(FIG6_N, peer_counts=ALPHAS)
+
+
+def test_bench_figure6(benchmark, fig6_series, show):
+    benchmark.pedantic(lambda: fig6_series, rounds=1, iterations=1)
+    show(figure_report(
+        fig6_series,
+        title=f"Figure 6 (paper n={FIG6_N}, run n={fig6_series.n})",
+    ))
+    failures = check_paper_claims(fig6_series)
+    assert not failures, "\n".join(failures)
+
+
+def test_bench_granularity_improves_efficiency(benchmark, fig6_series, show):
+    """Efficiency(144-series) ≥ efficiency(96-series) at the largest α
+    for the synchronous scheme, where granularity matters most."""
+    fig5 = benchmark.pedantic(
+        lambda: figure_series(FIG5_N, peer_counts=ALPHAS),
+        rounds=1, iterations=1,
+    )
+    a = max(ALPHAS)
+    eff5 = fig5.efficiencies("synchronous", 1)[-1]
+    eff6 = fig6_series.efficiencies("synchronous", 1)[-1]
+    show(f"sync efficiency at α={a}: n5={eff5:.3f} vs n6={eff6:.3f}")
+    assert eff6 > eff5 * 0.95

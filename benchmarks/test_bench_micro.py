@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the substrate's hot paths (real wall time).
+
+Unlike the figure benchmarks (whose timer measures harness wall time and
+whose scientific output is the virtual-time table), these measure the Python
+implementation itself: DES event throughput, channel hand-offs, plane
+relaxation rate, and message framing — the quantities that bound how big
+a simulated experiment this library can run.
+"""
+
+import numpy as np
+
+from repro.cactus.events import EventBus
+from repro.cactus.messages import Message
+from repro.numerics.obstacle import membrane_problem
+from repro.numerics.richardson import projected_richardson, relax_plane
+from repro.simnet.kernel import Simulator
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Timeout-chain throughput: events scheduled + dispatched per call."""
+
+    def run_chain():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(1000):
+                yield sim.timeout(1.0)
+
+        sim.spawn(ticker())
+        sim.run()
+        return sim.now
+
+    now = benchmark(run_chain)
+    assert now == 1000.0
+
+
+def test_bench_kernel_channel_handoff(benchmark):
+    """Producer/consumer pairs through a FIFO channel."""
+
+    def run_pairs():
+        sim = Simulator()
+        ch = sim.channel()
+        got = []
+
+        def producer():
+            for i in range(500):
+                ch.put(i)
+                yield sim.timeout(0.001)
+
+        def consumer():
+            for _ in range(500):
+                item = yield ch.get()
+                got.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        return len(got)
+
+    assert benchmark(run_pairs) == 500
+
+
+def test_bench_event_bus_dispatch(benchmark):
+    bus = EventBus(Simulator())
+    hits = []
+    for i in range(8):
+        bus.bind("E", lambda i=i: hits.append(i))
+
+    def dispatch():
+        hits.clear()
+        for _ in range(100):
+            bus.raise_event("E")
+        return len(hits)
+
+    assert benchmark(dispatch) == 800
+
+
+def test_bench_plane_relaxation(benchmark):
+    """One projected relaxation of a 96² plane — the solver's hot loop."""
+    problem = membrane_problem(96)
+    u = problem.feasible_start()
+    out = np.empty((96, 96))
+    scratch = np.empty((96, 96))
+    delta = problem.jacobi_delta()
+
+    def relax():
+        relax_plane(problem, u, 48, delta, out, scratch)
+        return out
+
+    result = benchmark(relax)
+    assert np.isfinite(result).all()
+
+
+def test_bench_sequential_solve_16(benchmark):
+    problem = membrane_problem(16)
+
+    def solve():
+        return projected_richardson(problem, tol=1e-4)
+
+    res = benchmark(solve)
+    assert res.converged
+
+
+def test_bench_message_framing(benchmark):
+    payload = np.zeros((96, 96))
+
+    def frame():
+        msg = Message(payload)
+        msg.push_header("transport", kind="DATA", seq=1, epoch=0,
+                        msg_id=1, needs_appack=False, ts=0.0)
+        size = msg.size_bytes
+        msg.pop_header("transport")
+        return size
+
+    size = benchmark(frame)
+    assert size > payload.nbytes

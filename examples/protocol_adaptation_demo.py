@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""P2PSAP self-adaptation in action: Table I live, plus a topology change.
+
+Opens sessions for every scheme × connection combination on a
+two-cluster testbed and prints the configuration the controller chose
+(Table I of the paper); then changes the application's scheme option on
+a live session and migrates a peer across clusters, showing the data
+channel reconfiguring on the fly — micro-protocol substitution included.
+
+Run:  python examples/protocol_adaptation_demo.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.p2psap import P2PSAP, Scheme
+from repro.simnet import Simulator, nicta_testbed
+
+
+def main():
+    sim = Simulator()
+    net = nicta_testbed(sim, 4, n_clusters=2)  # 00,01 | 02,03
+    protos = {name: P2PSAP(sim, net, name) for name in net.nodes}
+    rows = []
+    live = {}
+
+    def opener():
+        for scheme in Scheme:
+            for kind, remote in (("intra", "peer01"), ("inter", "peer02")):
+                sock = protos["peer00"].socket(scheme=scheme)
+                yield sock.connect(remote)
+                config = sock.getsockopt("config")
+                rows.append([
+                    scheme.value, kind, config.mode.value,
+                    "reliable" if config.reliable else "unreliable",
+                    config.congestion,
+                ])
+                live[(scheme, kind)] = sock
+
+    sim.spawn(opener())
+    sim.run(until=10)
+    print(format_table(
+        ["scheme", "connection", "mode", "reliability", "congestion"],
+        rows,
+        title="Table I, observed on live sessions",
+    ))
+
+    # -- dynamic adaptation 1: the application changes its scheme -----------
+    sock = live[(Scheme.SYNCHRONOUS, "inter")]
+    before = sock.getsockopt("config").describe()
+    sock.setsockopt("scheme", "asynchronous")
+    sim.run(until=sim.now + 5)
+    after = sock.getsockopt("config").describe()
+    print(f"\nscheme change on a live WAN session: {before}  ->  {after}")
+
+    # -- dynamic adaptation 2: topology change trigger ------------------------
+    sock2 = live[(Scheme.HYBRID, "intra")]
+    before = sock2.getsockopt("config").describe()
+    net.nodes["peer01"].cluster = "cluster1"  # peer migrates
+    protos["peer00"].monitor.notify_topology_change()
+    sim.run(until=sim.now + 5)
+    after = sock2.getsockopt("config").describe()
+    print(f"peer migrated across clusters (hybrid session): "
+          f"{before}  ->  {after}")
+    print("\nThe same P2P_Send is now asynchronous where it used to be "
+          "synchronous — no application change.")
+
+
+if __name__ == "__main__":
+    main()

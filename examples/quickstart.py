@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: solve a 3-D obstacle problem on a simulated P2P network.
+
+Builds the NICTA testbed (8 peers in 2 clusters, 100 ms between the
+clusters), deploys the P2PDC environment, and runs the paper's obstacle
+application under all three schemes of computation, printing the
+time / relaxations comparison that motivates the whole paper.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import P2PDC
+from repro.experiments.harness import scaled_spec
+from repro.experiments.reporting import format_table
+from repro.numerics import membrane_problem, projected_richardson
+from repro.simnet import Simulator, nicta_testbed
+from repro.solvers import ObstacleApplication
+
+N = 16          # grid: N³ points, N sub-blocks of N² points
+PEERS = 8
+TOL = 1e-4
+
+
+def solve_with(scheme: str):
+    """One full deployment + run; returns (elapsed, relaxations, u)."""
+    sim = Simulator()
+    network = nicta_testbed(sim, PEERS, n_clusters=2,
+                            spec=scaled_spec(N, 96))
+    env = P2PDC(sim, network)
+    env.register_everywhere(ObstacleApplication())
+    run = env.run_to_completion(
+        "obstacle",
+        params={"n": N, "tol": TOL},
+        n_peers=PEERS,
+        scheme=scheme,
+        timeout=1e6,
+    )
+    return run.elapsed, run.output.relaxations, run.output.u
+
+
+def main():
+    print(f"Obstacle problem {N}x{N}x{N} on {PEERS} peers / 2 clusters "
+          f"(100 ms WAN), tol={TOL}\n")
+
+    reference = projected_richardson(membrane_problem(N), tol=TOL)
+    print(f"sequential reference: {reference.relaxations} relaxations\n")
+
+    rows = []
+    for scheme in ("synchronous", "asynchronous", "hybrid"):
+        elapsed, relaxations, u = solve_with(scheme)
+        err = float(np.max(np.abs(u - reference.u)))
+        rows.append([scheme, elapsed, relaxations, err])
+    print(format_table(
+        ["scheme", "time (s)", "relaxations", "err vs sequential"],
+        rows,
+        title="distributed solves",
+    ))
+    print("\nAsynchronous communication hides the inter-cluster latency;"
+          "\nsynchronous rendezvous pays it on every relaxation.")
+
+
+if __name__ == "__main__":
+    main()

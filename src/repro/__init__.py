@@ -1,0 +1,41 @@
+"""repro — reproduction of *High Performance Peer-to-Peer Distributed
+Computing with Application to Obstacle Problem* (Nguyen, El Baz, Spitéri,
+Jourjon, Chau — IEEE IPDPSW 2010).
+
+Subpackages
+-----------
+``repro.simnet``
+    Deterministic discrete-event substrate: virtual-time kernel, the
+    simulated NICTA testbed (nodes, links, Netem), OML measurement and
+    OEDL experiment descriptions.
+``repro.cactus``
+    The Cactus-like micro-protocol framework P2PSAP is built on
+    (events, zero-copy messages, composite protocols, live
+    reconfiguration).
+``repro.p2psap``
+    The self-adaptive transport protocol: socket API, data channel
+    (sync/async modes, buffers, reliability, ordering, TCP-Tahoe /
+    New-Reno / H-TCP / SCP congestion control, Ethernet / InfiniBand /
+    Myrinet physical layers), control channel (context monitor,
+    controller with the Table I rule engine, reconfiguration,
+    coordination).
+``repro.core``
+    The P2PDC environment: user daemon, topology manager, task manager,
+    task execution, the three-function programming model with P2P_Send /
+    P2P_Receive, plus the load-balancing and fault-tolerance extensions.
+``repro.numerics``
+    The 3-D obstacle problem (membrane / torsion / options instances),
+    projected Richardson theory and the sequential reference solver.
+``repro.solvers``
+    The distributed projected Richardson application (Figure 4
+    procedure) with sound termination detection for asynchronous
+    iterations.
+``repro.experiments``
+    Harness regenerating Table I and Figures 5-6, with shape assertions
+    for every Section V.C claim.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["simnet", "cactus", "p2psap", "core", "numerics", "solvers",
+           "experiments", "__version__"]

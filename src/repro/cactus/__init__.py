@@ -1,0 +1,30 @@
+"""Cactus-like event-based micro-protocol framework.
+
+Reimplements the subset of the Cactus framework [4] that P2PSAP is built
+on, including the three modifications the paper introduces:
+
+1. concurrent handler execution (``EventBus.spawn`` runs handler work as
+   independent kernel processes);
+2. zero-copy message passing between layers (``Message`` moves through
+   the stack by reference; headers are pushed/popped in place);
+3. an explicit micro-protocol *remove* operation
+   (``MicroProtocol.remove`` / ``CompositeProtocol.remove_micro``).
+"""
+
+from .composite import CompositeProtocol, CompositionError, ProtocolStack
+from .events import EventBus, Handler, Timer
+from .messages import Message, payload_nbytes
+from .microprotocol import MicroProtocol, MicroProtocolError
+
+__all__ = [
+    "CompositeProtocol",
+    "CompositionError",
+    "ProtocolStack",
+    "EventBus",
+    "Handler",
+    "Timer",
+    "Message",
+    "payload_nbytes",
+    "MicroProtocol",
+    "MicroProtocolError",
+]

@@ -1,0 +1,200 @@
+"""Composite protocols and the layered protocol stack.
+
+"Cactus has two grains level.  Individual protocols, the so-called
+composite protocols, are constructed from micro-protocols.  Composite
+protocols are then layered on top of each other to create a protocol
+stack.  Protocols developed using Cactus framework can reconfigure by
+substituting micro-protocols or composite protocols."
+
+:class:`CompositeProtocol`
+    owns an :class:`~repro.cactus.events.EventBus` and a set of live
+    micro-protocols; supports add / remove / substitute at run time.
+
+:class:`ProtocolStack`
+    an ordered list of composite protocols.  Messages move down with
+    :meth:`ProtocolStack.send_down` and up with
+    :meth:`ProtocolStack.deliver_up`; each hop raises the conventional
+    events ``"FromAbove"`` / ``"FromBelow"`` on the next layer's bus,
+    passing the *same* :class:`~repro.cactus.messages.Message` object
+    (the zero-copy rule).  Whole layers can be substituted live, which is
+    how the data channel is "triggered between the different types of
+    networks; one composite protocol is then substituted to another."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Type
+
+from ..simnet.kernel import Simulator
+from .events import EventBus
+from .messages import Message
+from .microprotocol import MicroProtocol, MicroProtocolError
+
+__all__ = ["CompositeProtocol", "ProtocolStack", "CompositionError"]
+
+
+class CompositionError(RuntimeError):
+    """Invalid composite-protocol or stack manipulation."""
+
+
+class CompositeProtocol:
+    """A protocol built from micro-protocols over a shared event bus."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.bus = EventBus(sim, name=name)
+        self._micros: dict[str, MicroProtocol] = {}
+        self.stack: Optional["ProtocolStack"] = None
+        # Arbitrary shared state micro-protocols coordinate through
+        # (Cactus's shared data section); e.g. the send window.
+        self.shared: dict[str, Any] = {}
+
+    # -- micro-protocol management ------------------------------------------
+
+    def add_micro(self, micro: MicroProtocol) -> MicroProtocol:
+        """Initialize ``micro`` into this composite."""
+        if micro.name in self._micros:
+            raise CompositionError(
+                f"{self.name}: micro-protocol {micro.name!r} already present"
+            )
+        micro.init(self)
+        self._micros[micro.name] = micro
+        return micro
+
+    def remove_micro(self, name: str) -> MicroProtocol:
+        """Remove by name (the paper's added Cactus API operation)."""
+        try:
+            micro = self._micros.pop(name)
+        except KeyError:
+            raise CompositionError(
+                f"{self.name}: no micro-protocol named {name!r}"
+            ) from None
+        micro.remove()
+        return micro
+
+    def substitute_micro(self, old_name: str, new: MicroProtocol) -> MicroProtocol:
+        """Atomically replace ``old_name`` with ``new``.
+
+        This is the primitive the reconfiguration component uses when the
+        controller switches, say, New-Reno → H-TCP on a WAN path.
+        """
+        self.remove_micro(old_name)
+        return self.add_micro(new)
+
+    def micro(self, name: str) -> MicroProtocol:
+        try:
+            return self._micros[name]
+        except KeyError:
+            raise CompositionError(
+                f"{self.name}: no micro-protocol named {name!r}"
+            ) from None
+
+    def has_micro(self, name: str) -> bool:
+        return name in self._micros
+
+    def find_micro(self, cls: Type[MicroProtocol]) -> Optional[MicroProtocol]:
+        """First live micro-protocol that is an instance of ``cls``."""
+        for m in self._micros.values():
+            if isinstance(m, cls):
+                return m
+        return None
+
+    def micros(self) -> Iterator[MicroProtocol]:
+        return iter(self._micros.values())
+
+    def teardown(self) -> None:
+        """Remove every micro-protocol (session close)."""
+        for name in list(self._micros):
+            self.remove_micro(name)
+
+    # -- stack plumbing ---------------------------------------------------------
+
+    def send_down(self, msg: Message) -> None:
+        """Hand ``msg`` to the layer below (or raise if bottom)."""
+        if self.stack is None:
+            raise CompositionError(f"{self.name} is not in a stack")
+        below = self.stack.below(self)
+        if below is None:
+            raise CompositionError(f"{self.name} is the bottom layer")
+        below.bus.raise_event("FromAbove", msg)
+
+    def deliver_up(self, msg: Message) -> None:
+        """Hand ``msg`` to the layer above (or raise if top)."""
+        if self.stack is None:
+            raise CompositionError(f"{self.name} is not in a stack")
+        above = self.stack.above(self)
+        if above is None:
+            raise CompositionError(f"{self.name} is the top layer")
+        above.bus.raise_event("FromBelow", msg)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CompositeProtocol {self.name} micros={sorted(self._micros)}>"
+
+
+class ProtocolStack:
+    """An ordered stack of composite protocols (index 0 = top)."""
+
+    def __init__(self, layers: Optional[list[CompositeProtocol]] = None):
+        self._layers: list[CompositeProtocol] = []
+        for layer in layers or []:
+            self.push_bottom(layer)
+
+    def push_bottom(self, layer: CompositeProtocol) -> None:
+        """Append a layer below the current bottom."""
+        if layer.stack is not None:
+            raise CompositionError(f"{layer.name} is already in a stack")
+        layer.stack = self
+        self._layers.append(layer)
+
+    @property
+    def top(self) -> CompositeProtocol:
+        if not self._layers:
+            raise CompositionError("empty stack")
+        return self._layers[0]
+
+    @property
+    def bottom(self) -> CompositeProtocol:
+        if not self._layers:
+            raise CompositionError("empty stack")
+        return self._layers[-1]
+
+    def above(self, layer: CompositeProtocol) -> Optional[CompositeProtocol]:
+        i = self._index(layer)
+        return self._layers[i - 1] if i > 0 else None
+
+    def below(self, layer: CompositeProtocol) -> Optional[CompositeProtocol]:
+        i = self._index(layer)
+        return self._layers[i + 1] if i < len(self._layers) - 1 else None
+
+    def substitute_layer(
+        self, old: CompositeProtocol, new: CompositeProtocol
+    ) -> CompositeProtocol:
+        """Swap a whole composite protocol in place (e.g. Ethernet→Myrinet).
+
+        The old layer's micro-protocols are torn down; neighbours keep
+        their positions so in-flight messages route through ``new``.
+        """
+        i = self._index(old)
+        if new.stack is not None:
+            raise CompositionError(f"{new.name} is already in a stack")
+        old.teardown()
+        old.stack = None
+        new.stack = self
+        self._layers[i] = new
+        return new
+
+    def layers(self) -> list[CompositeProtocol]:
+        return list(self._layers)
+
+    def _index(self, layer: CompositeProtocol) -> int:
+        for i, l in enumerate(self._layers):
+            if l is layer:
+                return i
+        raise CompositionError(f"{layer.name} is not in this stack")
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Stack " + " / ".join(l.name for l in self._layers) + ">"

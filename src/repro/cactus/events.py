@@ -1,0 +1,134 @@
+"""Event system of the Cactus-like framework.
+
+Cactus is "an event-based framework.  Each micro-protocol is structured
+as a collection of event handlers, which are procedure-like segments of
+code and are bound to events.  When an event occurs, all handlers bound
+to that event are executed."
+
+:class:`EventBus` implements that dispatch model, with:
+
+- ordered handler execution (a handler binds with an ``order`` key;
+  ties run in binding order);
+- deferred events (``raise_later``), used by retransmission timers;
+- re-entrancy safety: handlers may bind/unbind handlers and raise
+  further events while a dispatch is in progress (the handler list is
+  snapshotted per dispatch);
+- cancellable timers (a deferred event can be cancelled before firing),
+  which Cactus exposes for round-trip timers.
+
+The paper's first Cactus modification — concurrent handler execution —
+maps here to handlers spawning kernel processes for long-running work
+(see :meth:`EventBus.spawn`) instead of blocking the dispatch loop;
+the dispatch itself stays deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from ..simnet.kernel import Event as KernelEvent
+from ..simnet.kernel import Process, Simulator
+
+__all__ = ["EventBus", "Timer", "Handler"]
+
+Handler = Callable[..., Any]
+
+
+class Timer:
+    """Handle for a deferred event raise; may be cancelled before firing."""
+
+    __slots__ = ("_bus", "_event_name", "_args", "_kwargs", "_cancelled", "_fired")
+
+    def __init__(self, bus: "EventBus", event_name: str, args: tuple, kwargs: dict):
+        self._bus = bus
+        self._event_name = event_name
+        self._args = args
+        self._kwargs = kwargs
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled and not self._fired
+
+    def cancel(self) -> None:
+        """Prevent the deferred event from firing (idempotent)."""
+        self._cancelled = True
+
+    def _fire(self, _ev: KernelEvent) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._bus.raise_event(self._event_name, *self._args, **self._kwargs)
+
+
+class EventBus:
+    """Named-event dispatcher with ordered handlers and timers."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        # event name -> list of (order, seq, handler)
+        self._handlers: dict[str, list[tuple[int, int, Handler]]] = {}
+        self._seq = itertools.count()
+        self.stats_raised: dict[str, int] = {}
+
+    # -- binding ---------------------------------------------------------
+
+    def bind(self, event_name: str, handler: Handler, order: int = 0) -> None:
+        """Bind ``handler`` to ``event_name``; lower ``order`` runs first."""
+        if not callable(handler):
+            raise TypeError(f"handler for {event_name!r} is not callable")
+        entries = self._handlers.setdefault(event_name, [])
+        if any(h is handler for _, _, h in entries):
+            raise ValueError(
+                f"handler {handler!r} already bound to {event_name!r}"
+            )
+        entries.append((order, next(self._seq), handler))
+        entries.sort(key=lambda e: (e[0], e[1]))
+
+    def unbind(self, event_name: str, handler: Handler) -> None:
+        """Remove one binding; unknown bindings raise (catches leaks)."""
+        entries = self._handlers.get(event_name, [])
+        for i, (_, _, h) in enumerate(entries):
+            if h is handler:
+                del entries[i]
+                return
+        raise LookupError(f"handler not bound to {event_name!r}")
+
+    def handlers_for(self, event_name: str) -> list[Handler]:
+        """Handlers currently bound, in execution order."""
+        return [h for _, _, h in self._handlers.get(event_name, [])]
+
+    def has_handlers(self, event_name: str) -> bool:
+        return bool(self._handlers.get(event_name))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def raise_event(self, event_name: str, *args: Any, **kwargs: Any) -> list[Any]:
+        """Execute all bound handlers now; returns their return values.
+
+        The handler list is snapshotted so handlers may rebind without
+        affecting the in-flight dispatch.
+        """
+        self.stats_raised[event_name] = self.stats_raised.get(event_name, 0) + 1
+        snapshot = list(self._handlers.get(event_name, []))
+        return [h(*args, **kwargs) for _, _, h in snapshot]
+
+    def raise_later(
+        self, delay: float, event_name: str, *args: Any, **kwargs: Any
+    ) -> Timer:
+        """Schedule ``event_name`` to be raised after ``delay`` sim-seconds."""
+        timer = Timer(self, event_name, args, kwargs)
+        self.sim.timeout(delay).callbacks.append(timer._fire)
+        return timer
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Run long-lived handler work as a concurrent kernel process.
+
+        This is the analogue of the paper's concurrent-handler-execution
+        modification: "Each thread has its own resources and its handler
+        execution is independent of others."
+        """
+        return self.sim.spawn(gen, name=name or f"{self.name}-handler")

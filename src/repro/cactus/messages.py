@@ -1,0 +1,130 @@
+"""Zero-copy protocol messages.
+
+The paper's second modification to Cactus eliminates message copies
+between layers: "only a pointer to message is passed between layers.
+Therefore, no message copy is made within the stack."
+
+:class:`Message` reproduces that discipline in Python.  The payload is an
+opaque object reference (for the solver it is a NumPy array *view* of a
+boundary plane) that is never copied by the stack.  Layers communicate
+metadata by pushing/popping *headers* on the message itself — appending
+to a list, not wrapping the message — so the object identity of both the
+message and its payload is preserved from the socket API all the way to
+the simulated wire.  Tests assert this with ``is`` checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["Message", "payload_nbytes"]
+
+_message_ids = itertools.count()
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort size accounting for a payload object.
+
+    NumPy arrays report their buffer size; bytes-like objects their
+    length; other objects fall back to a small fixed estimate plus
+    recursive accounting for tuples/lists (the control channel sends
+    small structured tuples).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return 16 + sum(payload_nbytes(v) for v in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    return 64
+
+
+class Message:
+    """A message traversing the protocol stack by reference.
+
+    Attributes
+    ----------
+    payload:
+        The application data object.  Never copied by the stack.
+    headers:
+        A stack of ``(layer_name, dict)`` entries.  Layers push on the way
+        down and pop on the way up.
+    meta:
+        Free-form annotations that do not travel on the wire (e.g. the
+        enqueue timestamp used for RTT estimation).
+    """
+
+    __slots__ = ("payload", "headers", "meta", "message_id")
+
+    # Fixed per-header wire overhead, in bytes.  Loosely a transport
+    # header; the exact value only shifts absolute times.
+    HEADER_BYTES = 32
+
+    def __init__(self, payload: Any = None):
+        self.payload = payload
+        self.headers: list[tuple[str, dict]] = []
+        self.meta: dict[str, Any] = {}
+        self.message_id = next(_message_ids)
+
+    # -- header stack ------------------------------------------------------
+
+    def push_header(self, layer: str, **fields: Any) -> None:
+        """Add a header for ``layer`` on the way down the stack."""
+        self.headers.append((layer, dict(fields)))
+
+    def pop_header(self, layer: str) -> dict:
+        """Remove and return the topmost header, checking layer identity.
+
+        Strict LIFO layer matching catches mis-stacked protocols early —
+        the classic composition bug Cactus's layered design invites.
+        """
+        if not self.headers:
+            raise LookupError(f"no headers to pop (expected {layer!r})")
+        top_layer, fields = self.headers[-1]
+        if top_layer != layer:
+            raise LookupError(
+                f"header stack mismatch: expected {layer!r}, found {top_layer!r}"
+            )
+        self.headers.pop()
+        return fields
+
+    def peek_header(self, layer: str) -> Optional[dict]:
+        """The topmost header for ``layer`` without removing it, or None."""
+        for name, fields in reversed(self.headers):
+            if name == layer:
+                return fields
+        return None
+
+    def iter_headers(self) -> Iterator[tuple[str, dict]]:
+        return iter(self.headers)
+
+    # -- sizing --------------------------------------------------------------
+
+    @property
+    def payload_bytes(self) -> int:
+        return payload_nbytes(self.payload)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: payload plus per-header overhead."""
+        return self.payload_bytes + Message.HEADER_BYTES * len(self.headers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        layers = "/".join(name for name, _ in self.headers) or "-"
+        return (
+            f"<Message #{self.message_id} payload={type(self.payload).__name__} "
+            f"{self.payload_bytes}B headers={layers}>"
+        )

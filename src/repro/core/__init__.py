@@ -1,0 +1,37 @@
+"""P2PDC — the environment for P2P high performance distributed computing.
+
+Figure 2 of the paper: user daemon, topology manager, task manager, task
+execution, load balancing, fault tolerance, communication (P2PSAP).
+The programming model reduces application code to three functions —
+``Problem_Definition()``, ``Calculate()``, ``Results_Aggregation()`` —
+and two communication operations, ``P2P_Send`` and ``P2P_Receive``.
+"""
+
+from .env_bus import ENV_PORT, EnvBus
+from .environment import P2PDC
+from .fault_tolerance import Checkpoint, CheckpointStore, FaultToleranceManager
+from .load_balancing import LoadBalancer, MigrationPlanner, MigrationStep
+from .programming_model import Application, ProblemDefinition, TaskContext
+from .task_execution import TaskExecutor
+from .task_manager import TaskManager, TaskRun
+from .topology_manager import (
+    MISSED_PINGS_LIMIT,
+    PING_PERIOD,
+    PeerRecord,
+    TopologyClient,
+    TopologyServer,
+)
+from .user_daemon import CommandError, UserDaemon
+
+__all__ = [
+    "ENV_PORT", "EnvBus",
+    "P2PDC",
+    "Checkpoint", "CheckpointStore", "FaultToleranceManager",
+    "LoadBalancer", "MigrationPlanner", "MigrationStep",
+    "Application", "ProblemDefinition", "TaskContext",
+    "TaskExecutor",
+    "TaskManager", "TaskRun",
+    "MISSED_PINGS_LIMIT", "PING_PERIOD", "PeerRecord",
+    "TopologyClient", "TopologyServer",
+    "CommandError", "UserDaemon",
+]

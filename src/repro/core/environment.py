@@ -1,0 +1,184 @@
+"""The P2PDC environment facade.
+
+Wires the paper's Figure 2 architecture onto a deployment: on every peer
+an environment bus, a topology client and a task executor (which owns
+the peer's P2PSAP protocol instance); on the submitting peer
+additionally the centralized topology server, the task manager, the
+load-balancing and fault-tolerance extensions, and the user daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..p2psap.context import Scheme
+from ..simnet.kernel import Event, Simulator
+from ..simnet.network import Network
+from ..simnet.oml import MeasurementLibrary
+from .env_bus import EnvBus
+from .fault_tolerance import FaultToleranceManager
+from .load_balancing import LoadBalancer
+from .programming_model import Application
+from .task_execution import TaskExecutor
+from .task_manager import TaskManager, TaskRun
+from .topology_manager import TopologyClient, TopologyServer
+from .user_daemon import UserDaemon
+
+__all__ = ["P2PDC"]
+
+
+class P2PDC:
+    """One deployment of the environment over a simulated network.
+
+    Parameters
+    ----------
+    sim, network:
+        The substrate (typically from ``ExperimentDescription.materialize``
+        or ``nicta_testbed``).
+    server_name:
+        The submitting peer hosting the centralized components; defaults
+        to the first node.
+    enable_load_balancing / enable_fault_tolerance:
+        Turn the extensions on (both off reproduces the paper's current
+        version exactly).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server_name: Optional[str] = None,
+        oml: Optional[MeasurementLibrary] = None,
+        enable_load_balancing: bool = False,
+        enable_fault_tolerance: bool = False,
+    ):
+        if not network.nodes:
+            raise ValueError("network has no nodes")
+        self.sim = sim
+        self.network = network
+        self.server_name = server_name or next(iter(network.nodes))
+        if self.server_name not in network.nodes:
+            raise ValueError(f"unknown server node {self.server_name!r}")
+        self.oml = oml if oml is not None else MeasurementLibrary(sim)
+
+        self.buses: dict[str, EnvBus] = {}
+        self.executors: dict[str, TaskExecutor] = {}
+        self.clients: dict[str, TopologyClient] = {}
+        for name in network.nodes:
+            bus = EnvBus(sim, network, name)
+            self.buses[name] = bus
+            self.executors[name] = TaskExecutor(sim, bus, oml=self.oml)
+
+        server_bus = self.buses[self.server_name]
+        self.topology = TopologyServer(sim, server_bus)
+        self.load_balancer = LoadBalancer() if enable_load_balancing else None
+        self.task_manager = TaskManager(
+            sim, server_bus, self.topology, load_balancer=self.load_balancer
+        )
+        self.fault_tolerance = (
+            FaultToleranceManager(sim, self.topology)
+            if enable_fault_tolerance else None
+        )
+        if self.fault_tolerance is not None:
+            for executor in self.executors.values():
+                executor.set_checkpoint_sink(self.fault_tolerance.checkpoint_sink)
+        self.daemon = UserDaemon(self)
+
+        # Topology clients join at construction (peers are already up
+        # when the user submits, as on the testbed).
+        for name in network.nodes:
+            client = TopologyClient(sim, self.buses[name], self.server_name)
+            self.clients[name] = client
+            client.join()
+        self._shut_down = False
+
+    # -- lookups -------------------------------------------------------------------
+
+    def executor(self, node_name: str) -> TaskExecutor:
+        return self.executors[node_name]
+
+    def application(self, name: str) -> Application:
+        apps = self.executors[self.server_name].applications
+        try:
+            return apps[name]
+        except KeyError:
+            raise LookupError(
+                f"application {name!r} not registered; known: {sorted(apps)}"
+            ) from None
+
+    # -- deployment-wide operations ----------------------------------------------------
+
+    def register_everywhere(self, app: Application) -> None:
+        """Install an application on every peer (code distribution)."""
+        for executor in self.executors.values():
+            executor.register(app)
+
+    def run(
+        self,
+        app_name: str,
+        params: Optional[Mapping[str, Any]] = None,
+        n_peers: Optional[int] = None,
+        scheme: Optional[Scheme | str] = None,
+    ) -> Event:
+        """Programmatic equivalent of the daemon's ``run`` command."""
+        app = self.application(app_name)
+        if self.fault_tolerance is not None:
+            # Arm failure detection for the peers about to be collected.
+            done = self.task_manager.run(app, params=params, n_peers=n_peers,
+                                         scheme=scheme)
+            current = self.task_manager._current
+            if current is not None:
+                self.fault_tolerance.watch(current.peer_names)
+            return done
+        return self.task_manager.run(app, params=params, n_peers=n_peers,
+                                     scheme=scheme)
+
+    def run_to_completion(
+        self,
+        app_name: str,
+        params: Optional[Mapping[str, Any]] = None,
+        n_peers: Optional[int] = None,
+        scheme: Optional[Scheme | str] = None,
+        timeout: Optional[float] = None,
+    ) -> TaskRun:
+        """Convenience for harnesses: submit, drive the simulator until
+        the run completes, return the TaskRun."""
+        outcome: dict[str, Any] = {}
+
+        def driver():
+            # Let the peer population register with the topology server
+            # first (JOINs cross the network), as a real user would see
+            # peers appear before submitting.
+            while len(self.topology.peers) < len(self.network.nodes):
+                yield self.sim.timeout(0.05)
+            run = yield self.run(app_name, params=params, n_peers=n_peers,
+                                 scheme=scheme)
+            outcome["run"] = run
+
+        self.sim.spawn(driver(), name="run-driver")
+        # Step rather than run(): background processes (ping loops) keep
+        # the event queue non-empty forever, so "queue drained" is not a
+        # usable completion signal.
+        import math
+        horizon = math.inf if timeout is None else timeout
+        while "run" not in outcome:
+            if self.sim.peek_time() > horizon:
+                raise TimeoutError(
+                    f"run {app_name!r} did not complete within "
+                    f"{timeout} sim-seconds"
+                )
+            self.sim.step()
+        return outcome["run"]
+
+    def shutdown(self) -> None:
+        """Tear everything down (the daemon's ``exit``)."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for client in self.clients.values():
+            client.close()
+        self.topology.close()
+        for executor in self.executors.values():
+            executor.close()
+        for bus in self.buses.values():
+            bus.close()

@@ -1,0 +1,129 @@
+"""Load balancing (extension — "not yet developed" in the paper).
+
+"Load balancing estimates peer workload and migrates a part of work from
+overloaded peer to non-loaded peer" ... "automatic load balancing in
+function of peer characteristics and load at start and run time".
+
+Two mechanisms:
+
+*Static* (:meth:`LoadBalancer.weights` / :meth:`order_peers`): at task
+start, peers are ordered fastest-first inside each cluster and the
+per-peer plane counts follow effective speeds via
+:func:`repro.numerics.blocks.weighted_partition`.
+
+*Dynamic* (:class:`MigrationPlanner`): during an asynchronous solve,
+peers report their per-relaxation rate; the planner proposes moving
+boundary planes from a peer to its (chain) neighbour when the rate
+imbalance exceeds a threshold.  Migration is restricted to chain
+neighbours so the contiguous block invariant is preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..numerics.blocks import BlockAssignment
+from .topology_manager import PeerRecord
+
+__all__ = ["LoadBalancer", "MigrationPlanner", "MigrationStep"]
+
+
+class LoadBalancer:
+    """Start-time placement decisions from topology records."""
+
+    def __init__(self, min_speed_ratio: float = 0.05):
+        if not 0 < min_speed_ratio <= 1:
+            raise ValueError("min_speed_ratio must be in (0, 1]")
+        self.min_speed_ratio = min_speed_ratio
+
+    def weights(self, records: Sequence[PeerRecord]) -> list[float]:
+        """Relative work shares ∝ effective speed, floored so a crawling
+        peer still gets a sliver rather than zero (it must own ≥1 plane)."""
+        if not records:
+            raise ValueError("no peers to weight")
+        speeds = [r.effective_speed() for r in records]
+        top = max(speeds)
+        return [max(s, self.min_speed_ratio * top) for s in speeds]
+
+    def order_peers(self, records: Sequence[PeerRecord]) -> list[str]:
+        """Stable order: keep cluster grouping, no reordering inside —
+        the chain decomposition needs cluster-contiguity more than it
+        needs fastest-first (a WAN hop in the middle of the chain costs
+        more than a slow middle peer)."""
+        return [r.name for r in records]
+
+    def assignment(
+        self, n_planes: int, records: Sequence[PeerRecord]
+    ) -> BlockAssignment:
+        """Weighted contiguous plane assignment for these peers."""
+        return BlockAssignment.weighted(n_planes, self.weights(records))
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationStep:
+    """Move ``n_planes`` planes from ``src`` to ``dst`` (chain neighbours)."""
+
+    src: int
+    dst: int
+    n_planes: int
+
+
+class MigrationPlanner:
+    """Run-time rebalancing proposals from observed relaxation rates."""
+
+    def __init__(self, imbalance_threshold: float = 1.5, max_step: int = 2):
+        if imbalance_threshold <= 1.0:
+            raise ValueError("imbalance_threshold must exceed 1")
+        if max_step < 1:
+            raise ValueError("max_step must be >= 1")
+        self.imbalance_threshold = imbalance_threshold
+        self.max_step = max_step
+
+    def plan(
+        self,
+        assignment: BlockAssignment,
+        rates: Sequence[float],
+    ) -> Optional[MigrationStep]:
+        """One migration step, or None if balanced.
+
+        ``rates[k]``: relaxations/second observed at node k.  Work per
+        plane is uniform (n² points), so time-per-sweep ∝ planes/rate;
+        the planner moves planes from the slowest-sweeping node towards
+        whichever chain neighbour sweeps fastest.
+        """
+        if len(rates) != assignment.n_nodes:
+            raise ValueError("one rate per node required")
+        if assignment.n_nodes < 2:
+            return None
+        sweep_times = [
+            assignment.load(k) / max(rates[k], 1e-12)
+            for k in range(assignment.n_nodes)
+        ]
+        worst = max(range(len(sweep_times)), key=sweep_times.__getitem__)
+        neighbors = assignment.neighbors(worst)
+        best = min(neighbors, key=lambda k: sweep_times[k])
+        if sweep_times[worst] < self.imbalance_threshold * sweep_times[best]:
+            return None
+        if assignment.load(worst) <= 1:
+            return None  # cannot shed the last plane
+        n = min(self.max_step, assignment.load(worst) - 1)
+        return MigrationStep(src=worst, dst=best, n_planes=n)
+
+    @staticmethod
+    def apply(assignment: BlockAssignment, step: MigrationStep) -> BlockAssignment:
+        """The assignment after ``step`` (planes slide along the chain)."""
+        if abs(step.src - step.dst) != 1:
+            raise ValueError("migration only between chain neighbours")
+        ranges = [range(r.start, r.stop) for r in assignment.ranges]
+        src, dst = ranges[step.src], ranges[step.dst]
+        if len(src) <= step.n_planes:
+            raise ValueError("source node would be left with no planes")
+        n = step.n_planes
+        if step.dst == step.src - 1:  # shed from the front
+            ranges[step.dst] = range(dst.start, dst.stop + n)
+            ranges[step.src] = range(src.start + n, src.stop)
+        else:  # shed from the back
+            ranges[step.src] = range(src.start, src.stop - n)
+            ranges[step.dst] = range(dst.start - n, dst.stop)
+        return BlockAssignment(assignment.n_planes, tuple(ranges))

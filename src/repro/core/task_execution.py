@@ -1,0 +1,270 @@
+"""Task execution: running sub-tasks on a peer.
+
+"When a peer receives a sub-task, it finds the corresponding application
+via application name and calls the Calculate() function."
+
+:class:`TaskExecutor` is the peer-side component.  It owns the peer's
+P2PSAP protocol instance and hides all session management from the
+application: ``P2P_Send``/``P2P_Receive`` address *ranks*, and the
+executor lazily opens one P2PSAP session per neighbouring rank (the
+lower rank initiates, the higher rank accepts, so exactly one session
+exists per pair).  Socket scheme options are set from the task's scheme
+of computation, which is how the adaptation rules see the application's
+requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..p2psap.context import CommMode, Scheme
+from ..p2psap.socket_api import P2PSAP, P2PSAPSocket
+from ..simnet.kernel import Event, Interrupt, Simulator
+from ..simnet.oml import MeasurementLibrary
+from .env_bus import EnvBus
+from .programming_model import Application, TaskContext
+
+__all__ = ["TaskExecutor"]
+
+
+class TaskExecutor:
+    """Peer-side runtime: application registry + rank-addressed sessions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: EnvBus,
+        oml: Optional[MeasurementLibrary] = None,
+    ):
+        self.sim = sim
+        self.bus = bus
+        self.network = bus.network
+        self.node = bus.node
+        node_name = self.node.name
+        self.oml = oml if oml is not None else MeasurementLibrary(sim)
+        self.protocol = P2PSAP(sim, self.network, node_name)
+        self.applications: dict[str, Application] = {}
+        bus.register("SUBTASK", self._handle_subtask)
+        bus.register("APPMSG", self._handle_appmsg)
+        #: Application-level environment messages (termination protocol,
+        #: etc.), delivered as (src_rank, body) tuples.
+        self.app_inbox = sim.channel(name=f"appmsg-{node_name}")
+        # Current task state.
+        self._rank: Optional[int] = None
+        self._peer_names: list[str] = []
+        self._scheme: Scheme = Scheme.HYBRID
+        self._sockets: dict[int, P2PSAPSocket] = {}
+        self._pending_accept: dict[str, Event] = {}
+        self._accept_pump = sim.spawn(self._accept_loop(), name=f"accept-{node_name}")
+        self._checkpoint_sink: Optional[Callable[[int, Any], None]] = None
+        self._result_sink: Optional[Callable[[int, Any], None]] = None
+        self.stats_tasks_run = 0
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, app: Application) -> None:
+        """Install an application (must happen on every peer)."""
+        self.applications[app.name] = app
+
+    # -- environment messages -------------------------------------------------------
+
+    def _handle_subtask(self, src: str, body: dict) -> None:
+        self.sim.spawn(
+            self._run_subtask(src, body), name=f"subtask-{self.node.name}"
+        )
+
+    def _handle_appmsg(self, src: str, body: dict) -> None:
+        self.app_inbox.put((body.get("src_rank"), body.get("body")))
+
+    def env_send_to_rank(self, rank: int, body: Any) -> None:
+        """Small reliable environment message to another rank (used by
+        coordination protocols such as distributed termination)."""
+        self.bus.send(self._name_of(rank), {
+            "kind": "APPMSG", "src_rank": self._rank, "body": body,
+        })
+
+    def _run_subtask(self, manager: str, body: dict):
+        app = self.applications.get(body["app_name"])
+        if app is None:
+            self.bus.send(manager, {
+                "kind": "RESULT", "rank": body["rank"],
+                "error": f"unknown application {body['app_name']!r}",
+            })
+            return
+        self._rank = body["rank"]
+        self._peer_names = list(body["peer_names"])
+        self._scheme = Scheme.parse(body["scheme"])
+        self._sockets = {}
+        self.app_inbox.clear()  # no stale coordination from a prior task
+        self.stats_tasks_run += 1
+        ctx = TaskContext(
+            executor=self,
+            rank=self._rank,
+            n_workers=len(self._peer_names),
+            peer_names=self._peer_names,
+            subtask=body["subtask"],
+            scheme=self._scheme,
+            params=body.get("params", {}),
+        )
+        try:
+            result = yield self.sim.spawn(
+                app.calculate(ctx), name=f"calc-{self.node.name}"
+            )
+        except Exception as err:  # report, don't kill the peer
+            self.bus.send(manager, {
+                "kind": "RESULT", "rank": self._rank, "error": repr(err),
+            })
+            self._teardown_sessions()
+            return
+        self.bus.send(manager, {
+            "kind": "RESULT", "rank": self._rank, "result": result,
+        })
+        self._teardown_sessions()
+
+    #: Grace period before closing sessions after a task: peers finish at
+    #: slightly different instants (the STOP broadcast takes a network
+    #: hop), and an eager CLOSE would cut a neighbour off mid-exchange.
+    LINGER = 5.0
+
+    def _teardown_sessions(self) -> None:
+        sockets, self._sockets = self._sockets, {}
+        if not sockets:
+            return
+
+        def linger(sockets=sockets):
+            yield self.sim.timeout(self.LINGER)
+            for sock in sockets.values():
+                sock.close()
+
+        self.sim.spawn(linger(), name=f"linger-{self.node.name}")
+
+    # -- rank-addressed sessions ------------------------------------------------------
+
+    def _name_of(self, rank: int) -> str:
+        if not 0 <= rank < len(self._peer_names):
+            raise IndexError(
+                f"rank {rank} out of range (task has {len(self._peer_names)} peers)"
+            )
+        return self._peer_names[rank]
+
+    def ensure_session(self, rank: int) -> Event:
+        """Event firing once the session to ``rank`` is usable."""
+        if rank in self._sockets:
+            done = self.sim.event()
+            done.succeed(self._sockets[rank])
+            return done
+        remote = self._name_of(rank)
+        if remote == self.node.name:
+            raise ValueError("a rank does not open a session to itself")
+        if self._rank < rank:
+            # Initiator side.
+            sock = self.protocol.socket(scheme=self._scheme)
+            established = sock.connect(remote)
+            self._sockets[rank] = sock
+            result = self.sim.event()
+            established.callbacks.append(lambda _ev: result.succeed(sock))
+            return result
+        # Responder side: wait for the accept pump to match the remote.
+        if remote not in self._pending_accept:
+            self._pending_accept[remote] = self.sim.event()
+        waiter = self._pending_accept[remote]
+        result = self.sim.event()
+
+        def ready(_ev: Event, rank=rank) -> None:
+            result.succeed(self._sockets[rank])
+
+        if waiter.triggered:
+            ready(waiter)
+        else:
+            waiter.callbacks.append(ready)
+        return result
+
+    def _accept_loop(self):
+        """Match inbound sessions to ranks as they arrive."""
+        listener = self.protocol.socket()
+        try:
+            while True:
+                sock = yield listener.accept()
+                remote = sock.remote
+                if remote in self._peer_names:
+                    rank = self._peer_names.index(remote)
+                    self._sockets[rank] = sock
+                waiter = self._pending_accept.pop(remote, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(sock)
+                elif remote not in self._peer_names:
+                    # Session from an unknown peer (stale task): refuse.
+                    sock.close()
+        except Interrupt:
+            return
+
+    # -- communication API used by TaskContext -----------------------------------------
+
+    def send_to_rank(self, rank: int, payload: Any) -> Event:
+        sock = self._sockets.get(rank)
+        if sock is None:
+            # Lazy connect, then send: chain the two events.
+            outer = self.sim.event()
+
+            def then_send(ev: Event) -> None:
+                inner = ev.value.send(payload)
+                inner.callbacks.append(
+                    lambda e: outer.succeed(e.value) if not outer.triggered else None
+                )
+
+            self.ensure_session(rank).callbacks.append(then_send)
+            return outer
+        return sock.send(payload)
+
+    def receive_from_rank(self, rank: int) -> Event:
+        sock = self._sockets.get(rank)
+        if sock is None:
+            outer = self.sim.event()
+
+            def then_recv(ev: Event) -> None:
+                inner = ev.value.recv()
+                inner.callbacks.append(
+                    lambda e: outer.succeed(e.value) if not outer.triggered else None
+                )
+
+            self.ensure_session(rank).callbacks.append(then_recv)
+            return outer
+        return sock.recv()
+
+    def receive_nowait_from_rank(self, rank: int) -> tuple[bool, Any]:
+        sock = self._sockets.get(rank)
+        return (False, None) if sock is None else sock.recv_nowait()
+
+    def receive_latest_nowait_from_rank(self, rank: int) -> tuple[bool, Any]:
+        sock = self._sockets.get(rank)
+        return (False, None) if sock is None else sock.recv_latest_nowait()
+
+    def link_bandwidth(self, rank: int) -> float:
+        link = self.network.link(self.node.name, self._name_of(rank))
+        return link.bandwidth_bps
+
+    def session_mode(self, rank: int) -> CommMode:
+        sock = self._sockets.get(rank)
+        if sock is None or sock.session is None or sock.session.config is None:
+            raise LookupError(f"no session to rank {rank} yet")
+        return sock.session.config.mode
+
+    # -- extension hooks --------------------------------------------------------------
+
+    def store_checkpoint(self, rank: int, state: Any) -> None:
+        if self._checkpoint_sink is not None:
+            self._checkpoint_sink(rank, state)
+
+    def set_checkpoint_sink(self, sink: Callable[[int, Any], None]) -> None:
+        self._checkpoint_sink = sink
+
+    def report_progress(self, rank: int, measurements: dict) -> None:
+        mp = self.oml.define("task_progress", ["rank", "key", "value"])
+        for key, value in measurements.items():
+            mp.inject(rank, key, value)
+
+    def close(self) -> None:
+        self._teardown_sessions()
+        self.protocol.close()
+        if self._accept_pump.is_alive:
+            self._accept_pump.interrupt("close")

@@ -1,0 +1,105 @@
+"""The user daemon: the user ↔ environment interface.
+
+"The User daemon component constitutes for the moment the interface
+between user and environment.  We outline here some principal commands:
+run (run an application ...), stat (return actual state of node), exit
+(quit the environment)."
+
+:class:`UserDaemon` parses command strings so the examples can drive the
+environment exactly the way the paper's users did, including the
+command-line overrides of peer count and scheme.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Optional
+
+from ..simnet.kernel import Event
+from .task_manager import TaskManager
+
+__all__ = ["UserDaemon", "CommandError"]
+
+
+class CommandError(ValueError):
+    """Malformed user command."""
+
+
+class UserDaemon:
+    """Command front-end on the submitting peer."""
+
+    def __init__(self, environment):
+        self.environment = environment
+        self.exited = False
+        self.history: list[str] = []
+
+    def command(self, line: str) -> Any:
+        """Execute one command line.
+
+        - ``run <app> [key=value ...]`` — launch an application; the
+          reserved keys ``peers=<int>`` and ``scheme=<name>`` override
+          the problem definition.  Returns the completion event.
+        - ``stat`` — the node's current state, as a dict.
+        - ``exit`` — shut the environment down.
+        """
+        if self.exited:
+            raise CommandError("daemon has exited")
+        self.history.append(line)
+        parts = shlex.split(line)
+        if not parts:
+            raise CommandError("empty command")
+        verb, *args = parts
+        if verb == "run":
+            return self._cmd_run(args)
+        if verb == "stat":
+            return self._cmd_stat()
+        if verb == "exit":
+            return self._cmd_exit()
+        raise CommandError(f"unknown command {verb!r}")
+
+    def _cmd_run(self, args: list[str]) -> Event:
+        if not args:
+            raise CommandError("run: missing application name")
+        app_name, *pairs = args
+        params: dict[str, Any] = {}
+        n_peers: Optional[int] = None
+        scheme: Optional[str] = None
+        for pair in pairs:
+            if "=" not in pair:
+                raise CommandError(f"run: expected key=value, got {pair!r}")
+            key, value = pair.split("=", 1)
+            if key == "peers":
+                n_peers = int(value)
+            elif key == "scheme":
+                scheme = value
+            else:
+                params[key] = self._coerce(value)
+        app = self.environment.application(app_name)
+        return self.environment.task_manager.run(
+            app, params=params, n_peers=n_peers, scheme=scheme
+        )
+
+    @staticmethod
+    def _coerce(value: str) -> Any:
+        for cast in (int, float):
+            try:
+                return cast(value)
+            except ValueError:
+                continue
+        if value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        return value
+
+    def _cmd_stat(self) -> dict:
+        env = self.environment
+        return {
+            "node": env.server_name,
+            "time": env.sim.now,
+            "peers_known": len(env.topology.peers),
+            "task_running": env.task_manager.busy,
+            "applications": sorted(env.executor(env.server_name).applications),
+        }
+
+    def _cmd_exit(self) -> None:
+        self.exited = True
+        self.environment.shutdown()

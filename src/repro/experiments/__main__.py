@@ -1,0 +1,94 @@
+"""Command-line regeneration of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig5 [--alphas 1,2,4,8] [--full]
+    python -m repro.experiments fig6 [--alphas 1,2,4,8] [--full]
+    python -m repro.experiments all
+
+``--full`` runs the paper's actual problem sizes (equivalent to setting
+``REPRO_FULL=1``); default is the laptop-scale ratio-preserving setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .figures import FIG5_N, FIG6_N, check_paper_claims, figure_series
+from .reporting import figure_report, format_table
+from .table1 import audit_table1
+
+
+def cmd_table1() -> int:
+    audit = audit_table1()
+    rows = [
+        [scheme.value, conn.value, cfg.mode.value,
+         "reliable" if cfg.reliable else "unreliable", cfg.congestion]
+        for (scheme, conn), cfg in audit.observed.items()
+    ]
+    print(format_table(
+        ["scheme", "connection", "mode", "reliability", "congestion"],
+        rows, title="Table I — observed on live P2PSAP sessions",
+    ))
+    if audit.ok:
+        print("\nall 6 cells match the paper")
+        return 0
+    print("\nMISMATCHES:")
+    for m in audit.mismatches:
+        print(" ", m)
+    return 1
+
+
+def cmd_figure(n_paper: int, alphas: tuple[int, ...]) -> int:
+    label = "Figure 5" if n_paper == FIG5_N else "Figure 6"
+    print(f"regenerating {label} (paper n={n_paper}) "
+          f"with α ∈ {list(alphas)} ...\n", flush=True)
+    series = figure_series(n_paper, peer_counts=alphas)
+    print(figure_report(series, title=f"{label} (run n={series.n})"))
+    failures = check_paper_claims(series)
+    if failures:
+        print("\nclaim violations:")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print("\nall Section V.C claims hold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target", choices=["table1", "fig5", "fig6", "all"],
+    )
+    parser.add_argument(
+        "--alphas", default="1,2,4,8",
+        help="comma-separated machine counts (default 1,2,4,8; the "
+             "paper uses 1,2,4,8,16,24)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the paper's actual problem sizes (96³ / 144³)",
+    )
+    args = parser.parse_args(argv)
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    alphas = tuple(int(a) for a in args.alphas.split(","))
+
+    rc = 0
+    if args.target in ("table1", "all"):
+        rc |= cmd_table1()
+    if args.target in ("fig5", "all"):
+        rc |= cmd_figure(FIG5_N, alphas)
+    if args.target in ("fig6", "all"):
+        rc |= cmd_figure(FIG6_N, alphas)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

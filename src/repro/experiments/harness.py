@@ -1,0 +1,161 @@
+"""Experiment harness: one configuration = one measured run.
+
+Reproduces the paper's methodology: an OEDL-style description fixes the
+topology (α peers, 1 or 2 clusters, 100 ms WAN) and application
+parameters (problem size n, scheme); the harness materializes it, runs
+the obstacle application through P2PDC, and reports time / relaxations /
+speedup / efficiency — the four panels of Figures 5 and 6.
+
+Scaled runs
+-----------
+The paper's sizes (96³, 144³) converge in thousands of relaxations; the
+default harness sizes are smaller so the suite is laptop-friendly.  A
+naive scale-down would distort the *compute-to-communication ratio*
+(smaller planes are cheap to relax but the 100 ms WAN latency does not
+shrink), so :func:`scaled_spec` slows the simulated CPUs by (n/n_paper)³
+and the links by (n/n_paper)² — per-sweep compute, per-plane
+serialization and the fixed latency then keep the same proportions as a
+full-size run on the real testbed, and the *shape* of every curve is
+preserved.  Set ``REPRO_FULL=1`` to run the paper's actual sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.environment import P2PDC
+from ..p2psap.context import Scheme
+from ..simnet.oedl import ExperimentDescription
+from ..simnet.topology import NICTA_SPEC, TestbedSpec
+from ..solvers.distributed_richardson import (
+    DistributedSolveReport,
+    ObstacleApplication,
+)
+
+__all__ = [
+    "RunResult",
+    "full_mode",
+    "scaled_spec",
+    "run_configuration",
+    "DEFAULT_TOL",
+]
+
+#: Tolerance used throughout the evaluation harness.
+DEFAULT_TOL = 1e-4
+
+
+def full_mode() -> bool:
+    """Whether to run the paper's actual problem sizes."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+def scaled_spec(n: int, n_paper: int, base: TestbedSpec = NICTA_SPEC) -> TestbedSpec:
+    """Testbed spec preserving the full-size compute:comm ratios at size n.
+
+    CPU ∝ n³ (per-sweep work), bandwidth ∝ n² (per-plane bytes), latency
+    unchanged (physics).  At n == n_paper this is the NICTA spec itself.
+    """
+    if n > n_paper:
+        raise ValueError(f"scaled size {n} exceeds paper size {n_paper}")
+    ratio = n / n_paper
+    return dataclasses.replace(
+        base,
+        cpu_hz=base.cpu_hz * ratio**3,
+        ethernet_bps=base.ethernet_bps * ratio**2,
+    )
+
+
+@dataclasses.dataclass
+class RunResult:
+    """One measured configuration (one point on a Figure 5/6 panel)."""
+
+    n: int
+    n_peers: int
+    n_clusters: int
+    scheme: Scheme
+    elapsed: float
+    relaxations: float
+    residual: float
+    report: DistributedSolveReport
+    max_wait_time: float
+
+    def speedup(self, sequential_time: float) -> float:
+        """T(1) / T(α) against the single-peer run."""
+        if self.elapsed <= 0:
+            raise ValueError("non-positive elapsed time")
+        return sequential_time / self.elapsed
+
+    def efficiency(self, sequential_time: float) -> float:
+        """speedup / α."""
+        return self.speedup(sequential_time) / self.n_peers
+
+    def row(self, sequential_time: Optional[float] = None) -> dict[str, Any]:
+        out = {
+            "n": self.n,
+            "peers": self.n_peers,
+            "clusters": self.n_clusters,
+            "scheme": self.scheme.value,
+            "time_s": round(self.elapsed, 4),
+            "relaxations": round(self.relaxations, 1),
+            "residual": float(self.residual),
+        }
+        if sequential_time is not None:
+            out["speedup"] = round(self.speedup(sequential_time), 3)
+            out["efficiency"] = round(self.efficiency(sequential_time), 3)
+        return out
+
+
+def run_configuration(
+    n: int,
+    n_peers: int,
+    n_clusters: int,
+    scheme: Scheme | str,
+    n_paper: Optional[int] = None,
+    tol: float = DEFAULT_TOL,
+    problem: str = "membrane",
+    seed: int = 0,
+    timeout: float = 1e7,
+    extra_params: Optional[dict] = None,
+) -> RunResult:
+    """Run one (n, α, clusters, scheme) configuration end to end.
+
+    ``n_paper`` enables ratio-preserving scaling (see :func:`scaled_spec`);
+    None runs at the given size on the unscaled NICTA spec.
+    """
+    scheme = Scheme.parse(scheme)
+    spec = NICTA_SPEC if n_paper is None or n >= n_paper else scaled_spec(n, n_paper)
+    desc = ExperimentDescription(
+        name=f"obstacle-n{n}-a{n_peers}-c{n_clusters}-{scheme.value}",
+        n_peers=n_peers,
+        n_clusters=n_clusters,
+        spec=spec,
+        app_name="obstacle",
+        app_params={"n": n, "tol": tol, "problem": problem},
+        seed=seed,
+    )
+    deployment = desc.materialize()
+    env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml)
+    env.register_everywhere(ObstacleApplication())
+    params = {"n": n, "tol": tol, "problem": problem}
+    if extra_params:
+        params.update(extra_params)
+    run = env.run_to_completion(
+        "obstacle", params=params, n_peers=n_peers, scheme=scheme,
+        timeout=timeout,
+    )
+    report: DistributedSolveReport = run.output
+    return RunResult(
+        n=n,
+        n_peers=n_peers,
+        n_clusters=n_clusters,
+        scheme=scheme,
+        elapsed=run.elapsed,
+        relaxations=report.relaxations,
+        residual=report.residual,
+        report=report,
+        max_wait_time=report.max_wait_time,
+    )

@@ -1,0 +1,77 @@
+"""Text-table reporting for the experiment harness.
+
+The paper presents Figures 5 and 6 as bar charts; with no plotting
+dependency available, the harness prints the same series as aligned
+text tables (one row per machine count, one column group per scheme ×
+cluster combination) — the exact rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .figures import FigureSeries
+
+__all__ = ["format_table", "figure_report"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Plain monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def figure_report(series: FigureSeries, title: Optional[str] = None) -> str:
+    """The four panels of one figure as text tables."""
+    schemes = ("synchronous", "asynchronous", "hybrid")
+    clusters = (1, 2)
+    combos = [
+        (s, c) for s in schemes for c in clusters
+        if series.series(s, c)
+    ]
+    headers = ["alpha"] + [f"{s[:5]}/{c}cl" for s, c in combos]
+    blocks = []
+    panels = [
+        ("time (s)", lambda s, c: series.times(s, c)),
+        ("relaxations", lambda s, c: series.relaxations(s, c)),
+        ("speedup", lambda s, c: series.speedups(s, c)),
+        ("efficiency", lambda s, c: series.efficiencies(s, c)),
+    ]
+    for panel_name, getter in panels:
+        columns = {combo: getter(*combo) for combo in combos}
+        rows = []
+        for i, alpha in enumerate(series.peer_counts):
+            row = [alpha]
+            for combo in combos:
+                col = columns[combo]
+                row.append(col[i] if i < len(col) else "")
+            rows.append(row)
+        blocks.append(format_table(
+            headers, rows,
+            title=f"{title or f'n={series.n}'} — {panel_name}",
+        ))
+    return "\n\n".join(blocks)

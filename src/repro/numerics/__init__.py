@@ -1,0 +1,45 @@
+"""Numerical core: the 3-D obstacle problem and projected Richardson.
+
+Fixed-point problem (1) of the paper: find u* ∈ K with
+u* = F_δ(u*) = P_K(u* − δ(A·u* − b)), discretized with the 7-point
+Laplacian on the unit cube.
+"""
+
+from .blocks import BlockAssignment, partition_planes, weighted_partition
+from .convergence import DiffCriterion, ResidualHistory, max_diff
+from .grid import Grid3D
+from .mmatrix import (
+    contraction_factor,
+    is_diagonally_dominant,
+    is_m_matrix,
+    is_z_matrix,
+    jacobi_spectral_radius,
+    laplacian_matrix_1d,
+    laplacian_matrix_3d,
+)
+from .obstacle import (
+    ObstacleProblem,
+    membrane_problem,
+    options_pricing_problem,
+    torsion_problem,
+)
+from .projection import BoxConstraint, unconstrained
+from .richardson import (
+    FLOPS_PER_POINT,
+    SolveResult,
+    projected_richardson,
+    relax_plane,
+)
+
+__all__ = [
+    "BlockAssignment", "partition_planes", "weighted_partition",
+    "DiffCriterion", "ResidualHistory", "max_diff",
+    "Grid3D",
+    "contraction_factor", "is_diagonally_dominant", "is_m_matrix",
+    "is_z_matrix", "jacobi_spectral_radius", "laplacian_matrix_1d",
+    "laplacian_matrix_3d",
+    "ObstacleProblem", "membrane_problem", "options_pricing_problem",
+    "torsion_problem",
+    "BoxConstraint", "unconstrained",
+    "FLOPS_PER_POINT", "SolveResult", "projected_richardson", "relax_plane",
+]

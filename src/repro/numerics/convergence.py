@@ -1,0 +1,93 @@
+"""Stopping criteria and residual histories.
+
+The classic criterion for relaxation methods — and the practical one for
+the paper's distributed runs — is the max-norm difference between
+successive iterates falling below a tolerance.  For the *asynchronous*
+schemes a local criterion alone is unsafe (a peer may be momentarily
+converged on stale neighbour data), which is why the distributed
+termination detector in :mod:`repro.solvers.termination` requires
+sustained, simultaneous local convergence; the pieces here are the local
+building blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DiffCriterion", "ResidualHistory", "max_diff"]
+
+
+@dataclasses.dataclass
+class DiffCriterion:
+    """‖u_new − u_old‖∞ < tol, optionally required for several
+    consecutive checks (hysteresis against async flutter)."""
+
+    tol: float
+    consecutive: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tol <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.consecutive < 1:
+            raise ValueError("consecutive must be >= 1")
+        self._streak = 0
+
+    def check(self, diff_norm: float) -> bool:
+        """Feed one observation; True once the streak is long enough."""
+        if not math.isfinite(diff_norm):
+            raise ValueError(f"non-finite diff norm {diff_norm!r} (diverged?)")
+        if diff_norm < self.tol:
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.consecutive
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    @property
+    def streak(self) -> int:
+        return self._streak
+
+
+def max_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """‖a − b‖∞ without intermediates beyond one temp."""
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+@dataclasses.dataclass
+class ResidualHistory:
+    """Convergence trace of one run (feeds EXPERIMENTS.md tables)."""
+
+    values: list[float] = dataclasses.field(default_factory=list)
+
+    def append(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def final(self) -> float:
+        if not self.values:
+            raise LookupError("empty history")
+        return self.values[-1]
+
+    def asymptotic_rate(self, tail: int = 10) -> Optional[float]:
+        """Geometric mean contraction over the last ``tail`` steps."""
+        vals = [v for v in self.values[-(tail + 1):] if v > 0]
+        if len(vals) < 2:
+            return None
+        ratios = [vals[i + 1] / vals[i] for i in range(len(vals) - 1)]
+        return float(np.exp(np.mean(np.log(ratios))))
+
+    def monotone(self, slack: float = 1e-12) -> bool:
+        """Whether the trace is non-increasing (true for sync Richardson
+        from a feasible start; async may flutter)."""
+        return all(
+            b <= a + slack for a, b in zip(self.values, self.values[1:])
+        )

@@ -1,0 +1,75 @@
+"""3-D finite-difference grid for the obstacle problem.
+
+The paper discretizes a 3-D domain with ``n³`` interior points ("Let n³
+denote the number of discretization points"); we use the unit cube with
+homogeneous Dirichlet boundary conditions and the standard 7-point
+Laplacian stencil, the setting of the companion numerical paper
+(Spitéri & Chau 2002).
+
+Arrays are indexed ``u[z, y, x]`` with the z-axis as the block/
+decomposition axis: plane ``u[i]`` is the i-th sub-block of n² points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Grid3D"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Grid3D:
+    """Uniform grid on the open unit cube with n interior points per axis.
+
+    ``h = 1/(n+1)`` so that boundary points (value 0) sit at 0 and 1.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("grid needs at least one interior point per axis")
+
+    @property
+    def h(self) -> float:
+        """Mesh size."""
+        return 1.0 / (self.n + 1)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.n, self.n, self.n)
+
+    @property
+    def n_points(self) -> int:
+        return self.n**3
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.shape)
+
+    def full(self, value: float) -> np.ndarray:
+        return np.full(self.shape, float(value))
+
+    def coordinates(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Meshgrid (z, y, x) of interior-point coordinates in (0, 1)."""
+        axis = (np.arange(self.n) + 1) * self.h
+        return np.meshgrid(axis, axis, axis, indexing="ij")
+
+    def axis(self) -> np.ndarray:
+        """Interior coordinates along one axis."""
+        return (np.arange(self.n) + 1) * self.h
+
+    def iter_planes(self) -> Iterator[int]:
+        """Sub-block indices along the decomposition (z) axis."""
+        return iter(range(self.n))
+
+    def validate_field(self, u: np.ndarray, name: str = "field") -> None:
+        """Shape/type check with a message worth reading."""
+        if not isinstance(u, np.ndarray):
+            raise TypeError(f"{name} must be an ndarray, got {type(u).__name__}")
+        if u.shape != self.shape:
+            raise ValueError(
+                f"{name} has shape {u.shape}, expected {self.shape} for n={self.n}"
+            )

@@ -1,0 +1,273 @@
+"""The 3-D obstacle problem: operator, data, and canonical instances.
+
+Discretizing the obstacle problem on the unit cube with the 7-point
+Laplacian yields the fixed-point problem (1)-(2) of the paper:
+
+    find u* ∈ K  with  u* = P_K(u* − δ(A·u* − b))
+
+where A is the (SPD, M-matrix) discrete operator −Δ + c·I, b collects
+the source term, and K is a pointwise box.  The operator satisfies the
+paper's condition (2) — it is an M-matrix-generating block operator —
+which is what makes parallel *asynchronous* projected Richardson
+converge (Spitéri & Chau 2002).
+
+The obstacle problem "occurs in many domains like mechanics and
+financial mathematics, e.g. options pricing"; the canonical instances
+below cover both motivations plus the plain membrane benchmark used for
+the experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from .grid import Grid3D
+from .projection import BoxConstraint
+
+__all__ = [
+    "ObstacleProblem",
+    "membrane_problem",
+    "torsion_problem",
+    "options_pricing_problem",
+    "AUTO_HALO",
+]
+
+#: Sentinel for apply_A_plane's below/above: "derive from u itself".
+#: Distinct from None, which means "zero Dirichlet boundary".
+AUTO_HALO = object()
+
+
+def _neighbor_sum_2d(p: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Sum of the 4 in-plane neighbours with zero (Dirichlet) boundary.
+
+    Writes into ``out`` (no allocation in the hot loop).
+    """
+    out.fill(0.0)
+    out[1:, :] += p[:-1, :]
+    out[:-1, :] += p[1:, :]
+    out[:, 1:] += p[:, :-1]
+    out[:, :-1] += p[:, 1:]
+    return out
+
+
+@dataclasses.dataclass
+class ObstacleProblem:
+    """A·u = (−Δ + c·I)u over the grid, with box constraints K and data b.
+
+    Attributes
+    ----------
+    grid:
+        The discretization.
+    b:
+        Right-hand side field (n, n, n); includes the source term f.
+    constraint:
+        The convex set K (pointwise box).
+    c:
+        Zeroth-order coefficient ≥ 0 (adds c·I to −Δ; used by the
+        options-pricing instance where it plays the discount rate).
+    name:
+        Label used by the experiment harness.
+    """
+
+    grid: Grid3D
+    b: np.ndarray
+    constraint: BoxConstraint
+    c: float = 0.0
+    name: str = "obstacle"
+
+    def __post_init__(self) -> None:
+        self.grid.validate_field(self.b, "b")
+        if self.c < 0:
+            raise ValueError("zeroth-order coefficient c must be >= 0")
+
+    # -- operator ------------------------------------------------------------
+
+    @property
+    def diag(self) -> float:
+        """Diagonal entry of A: 6/h² + c."""
+        h = self.grid.h
+        return 6.0 / (h * h) + self.c
+
+    def lambda_max_bound(self) -> float:
+        """Upper bound on the spectrum of A (Gershgorin): 12/h² + c."""
+        h = self.grid.h
+        return 12.0 / (h * h) + self.c
+
+    def lambda_min(self) -> float:
+        """Smallest eigenvalue of A: 3·(2/h² )(1−cos(πh)) + c, exact for
+        the 7-point Laplacian on the cube."""
+        h = self.grid.h
+        return 3.0 * (2.0 / (h * h)) * (1.0 - np.cos(np.pi * h)) + self.c
+
+    def optimal_delta(self) -> float:
+        """δ maximizing the Richardson contraction: 2/(λmin + λmax)."""
+        return 2.0 / (self.lambda_min() + self.lambda_max_bound())
+
+    def jacobi_delta(self) -> float:
+        """δ = 1/diag: the projected-Jacobi step the paper's relaxations
+        use (each sub-block relaxation solves its diagonal exactly)."""
+        return 1.0 / self.diag
+
+    def apply_A(self, u: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """A·u over the whole grid (zero Dirichlet boundary)."""
+        self.grid.validate_field(u, "u")
+        h2 = self.grid.h ** 2
+        if out is None:
+            out = np.empty_like(u)
+        n = self.grid.n
+        scratch = np.empty((n, n))
+        for z in range(n):
+            self.apply_A_plane(u, z, out[z], scratch)
+        return out
+
+    def apply_A_plane(
+        self,
+        u,
+        z: int,
+        out: np.ndarray,
+        scratch: Optional[np.ndarray] = None,
+        below=AUTO_HALO,
+        above=AUTO_HALO,
+    ) -> np.ndarray:
+        """(A·u)_z for sub-block z.
+
+        ``below``/``above`` override the z−1 / z+1 planes — this is the
+        hook the distributed solver uses to substitute *received* halo
+        planes (possibly delayed iterates, eq. (5)) for local data.
+        Pass ``None`` explicitly for the zero Dirichlet boundary; the
+        default :data:`AUTO_HALO` reads the planes from ``u`` itself.
+        """
+        n = self.grid.n
+        h2 = self.grid.h ** 2
+        plane = u[z]
+        if scratch is None:
+            scratch = np.empty((n, n))
+        nb = _neighbor_sum_2d(plane, scratch)
+        if below is AUTO_HALO:
+            below = u[z - 1] if z > 0 else None
+        if above is AUTO_HALO:
+            above = u[z + 1] if z < n - 1 else None
+        # out = ((6 + c·h²)·u_z − in-plane − below − above) / h²
+        np.multiply(plane, 6.0 + self.c * h2, out=out)
+        out -= nb
+        if below is not None:
+            out -= below
+        if above is not None:
+            out -= above
+        out /= h2
+        return out
+
+    # -- fixed point mapping -------------------------------------------------------
+
+    def fixed_point_map(self, u: np.ndarray, delta: float,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+        """F_δ(u) = P_K(u − δ(A·u − b)), the whole-vector (Jacobi) map."""
+        Au = self.apply_A(u)
+        v = u - delta * (Au - self.b)
+        return self.constraint.project(v, out=out)
+
+    def residual_norm(self, u: np.ndarray, delta: Optional[float] = None) -> float:
+        """‖u − F_δ(u)‖∞ — zero exactly at the solution of (1)."""
+        if delta is None:
+            delta = self.jacobi_delta()
+        return float(np.max(np.abs(u - self.fixed_point_map(u, delta))))
+
+    def complementarity_error(self, u: np.ndarray) -> float:
+        """Max violation of the LCP conditions at u:
+
+        feasibility (u ∈ K), nonnegative residual off the contact set,
+        and (A·u − b) ⊥ (u − obstacle) on it.
+        """
+        r = self.apply_A(u) - self.b
+        worst = self.constraint.violation(u)
+        lo, up = self.constraint.lower, self.constraint.upper
+        if lo is None and up is None:
+            return max(worst, float(np.max(np.abs(r))))
+        # Where strictly inside K the residual must vanish; at the lower
+        # obstacle r ≥ 0; at the upper obstacle r ≤ 0.
+        interior = np.ones_like(u, dtype=bool)
+        if lo is not None:
+            at_lower = np.isclose(u, np.broadcast_to(lo, u.shape), atol=1e-9)
+            interior &= ~at_lower
+            worst = max(worst, float(np.max(-r[at_lower], initial=0.0)))
+        if up is not None:
+            at_upper = np.isclose(u, np.broadcast_to(up, u.shape), atol=1e-9)
+            interior &= ~at_upper
+            worst = max(worst, float(np.max(r[at_upper], initial=0.0)))
+        worst = max(worst, float(np.max(np.abs(r[interior]), initial=0.0)))
+        return worst
+
+    def feasible_start(self) -> np.ndarray:
+        """An initial iterate inside K (projection of zero)."""
+        return self.constraint.project(self.grid.zeros())
+
+
+# -- canonical instances ------------------------------------------------------------
+
+
+def membrane_problem(n: int, bump_height: float = 0.4,
+                     bump_radius: float = 0.35) -> ObstacleProblem:
+    """Elastic membrane stretched over a spherical bump obstacle.
+
+    No load (f = 0); the lower obstacle is a paraboloid-capped bump that
+    pokes through the flat rest position, producing a genuine contact
+    region surrounded by a harmonic "skirt".  The default experiment
+    workload.
+    """
+    grid = Grid3D(n)
+    z, y, x = grid.coordinates()
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2
+    phi = bump_height * (1.0 - r2 / bump_radius**2)
+    # Keep the obstacle below the boundary condition (0) near the walls
+    # so K is compatible with u|∂Ω = 0.
+    return ObstacleProblem(
+        grid=grid,
+        b=grid.zeros(),
+        constraint=BoxConstraint(lower=phi),
+        name=f"membrane-{n}",
+    )
+
+
+def torsion_problem(n: int, twist: float = 10.0) -> ObstacleProblem:
+    """Elasto-plastic torsion of a bar (the mechanics motivation).
+
+    −Δu = 2θ with |u| ≤ dist(x, ∂Ω) — a two-sided obstacle whose active
+    set is the plastic region.  Distance is to the unit-cube boundary.
+    """
+    grid = Grid3D(n)
+    z, y, x = grid.coordinates()
+    dist = np.minimum.reduce([x, 1 - x, y, 1 - y, z, 1 - z])
+    return ObstacleProblem(
+        grid=grid,
+        b=grid.full(2.0 * twist),
+        constraint=BoxConstraint(lower=-dist, upper=dist),
+        name=f"torsion-{n}",
+    )
+
+
+def options_pricing_problem(n: int, strike: float = 0.5,
+                            rate: float = 0.2) -> ObstacleProblem:
+    """American-option-style pricing LCP (the financial motivation).
+
+    A stationary three-asset complementarity problem: diffusion with a
+    discount term (−Δ + r)u ≥ 0, u ≥ payoff, complementarity.  The
+    payoff is a basket put max(strike − mean(x), 0), giving an exercise
+    (contact) region near the low-price corner.
+    """
+    grid = Grid3D(n)
+    z, y, x = grid.coordinates()
+    payoff = np.maximum(strike - (x + y + z) / 3.0, 0.0)
+    # Keep compatibility with zero boundary values by tapering the payoff
+    # with the distance to the boundary.
+    taper = np.minimum.reduce([x, 1 - x, y, 1 - y, z, 1 - z]) * 6.0
+    payoff = np.minimum(payoff, taper)
+    return ObstacleProblem(
+        grid=grid,
+        b=grid.zeros(),
+        constraint=BoxConstraint(lower=payoff),
+        c=rate,
+        name=f"options-{n}",
+    )

@@ -1,0 +1,98 @@
+"""Projections onto the convex sets K of the obstacle problem.
+
+The paper's framework projects onto a product of closed convex sets
+``K = ∏ K_i``; for the obstacle problem each ``K_i`` is a box (pointwise
+bound constraints), so the projection is a clip — separable, exact, and
+vectorized.
+
+:class:`BoxConstraint` carries optional lower and upper obstacle fields
+and projects in place or out of place.  Properties that matter for the
+convergence theory — idempotence and non-expansiveness — are asserted in
+the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["BoxConstraint", "unconstrained"]
+
+FieldLike = Union[float, np.ndarray, None]
+
+
+class BoxConstraint:
+    """Pointwise box K = {v : lower ≤ v ≤ upper} (either side optional).
+
+    ``lower``/``upper`` may be scalars, full fields, or None (that side
+    unconstrained).  The projection P_K is the pointwise clip.
+    """
+
+    def __init__(self, lower: FieldLike = None, upper: FieldLike = None):
+        if lower is not None and upper is not None:
+            lo = np.asarray(lower, dtype=float)
+            up = np.asarray(upper, dtype=float)
+            if np.any(lo > up):
+                raise ValueError("lower obstacle exceeds upper obstacle somewhere")
+        self.lower = None if lower is None else np.asarray(lower, dtype=float)
+        self.upper = None if upper is None else np.asarray(upper, dtype=float)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when K is the whole space (no projection needed)."""
+        return self.lower is None and self.upper is None
+
+    def project(self, v: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """P_K(v); with ``out=v`` the projection is in place (no copy)."""
+        if self.is_trivial:
+            if out is None:
+                return v.copy()
+            if out is not v:
+                np.copyto(out, v)
+            return out
+        return np.clip(v, self.lower, self.upper, out=out if out is not None else None)
+
+    def project_plane(self, v: np.ndarray, plane: int,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Project one z-plane (sub-block K_i of the product K = ∏ K_i)."""
+        lo = self._plane_of(self.lower, plane)
+        up = self._plane_of(self.upper, plane)
+        if lo is None and up is None:
+            if out is None:
+                return v.copy()
+            if out is not v:
+                np.copyto(out, v)
+            return out
+        return np.clip(v, lo, up, out=out if out is not None else None)
+
+    @staticmethod
+    def _plane_of(field: Optional[np.ndarray], plane: int):
+        if field is None:
+            return None
+        if field.ndim == 0:
+            return field
+        return field[plane]
+
+    def contains(self, v: np.ndarray, atol: float = 1e-12) -> bool:
+        """Whether v ∈ K (up to floating-point slack)."""
+        ok = True
+        if self.lower is not None:
+            ok = ok and bool(np.all(v >= self.lower - atol))
+        if self.upper is not None:
+            ok = ok and bool(np.all(v <= self.upper + atol))
+        return ok
+
+    def violation(self, v: np.ndarray) -> float:
+        """Max-norm distance of v from K (0 when feasible)."""
+        worst = 0.0
+        if self.lower is not None:
+            worst = max(worst, float(np.max(self.lower - v, initial=0.0)))
+        if self.upper is not None:
+            worst = max(worst, float(np.max(v - self.upper, initial=0.0)))
+        return worst
+
+
+def unconstrained() -> BoxConstraint:
+    """K = V: the fixed-point problem degenerates to the linear system."""
+    return BoxConstraint(None, None)

@@ -1,0 +1,46 @@
+"""P2PSAP — the Peer-To-Peer Self-Adaptive communication Protocol.
+
+The protocol configures itself automatically and dynamically as a
+function of application requirements (scheme of computation) and
+elements of context (topology), choosing the most appropriate
+communication mode between peers (Table I of the paper).
+
+Public surface:
+
+- :class:`P2PSAP` / :class:`P2PSAPSocket` — per-node protocol instance
+  and the socket-like API;
+- :class:`ChannelConfig`, :class:`Scheme`, :class:`CommMode`,
+  :class:`ConnectionKind`, :class:`ContextSnapshot` — the context and
+  configuration vocabulary;
+- :class:`RuleEngine`, :data:`TABLE_I` — the controller's decision
+  rules;
+- :class:`DataChannel` and the micro-protocols — for tests, ablations
+  and protocol extensions.
+"""
+
+from .context import (
+    ChannelConfig,
+    CommMode,
+    ConnectionKind,
+    ContextSnapshot,
+    Scheme,
+)
+from .control_channel import (
+    ContextMonitor,
+    Controller,
+    Reconfiguration,
+    ReliableControlLink,
+)
+from .data_channel import DataChannel
+from .rules import TABLE_I, Rule, RuleEngine, default_rules
+from .session import CONTROL_PORT, Session, SessionState, allocate_port
+from .socket_api import P2PSAP, P2PSAPSocket, SocketError
+
+__all__ = [
+    "ChannelConfig", "CommMode", "ConnectionKind", "ContextSnapshot", "Scheme",
+    "ContextMonitor", "Controller", "Reconfiguration", "ReliableControlLink",
+    "DataChannel",
+    "TABLE_I", "Rule", "RuleEngine", "default_rules",
+    "CONTROL_PORT", "Session", "SessionState", "allocate_port",
+    "P2PSAP", "P2PSAPSocket", "SocketError",
+]

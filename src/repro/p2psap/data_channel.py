@@ -1,0 +1,272 @@
+"""The P2PSAP data channel.
+
+"The Cactus built data channel transfers data packets between peers.
+The data channel has two levels: the physical layer and the transport
+layer; each layer corresponds to a Cactus composite protocol."
+
+:class:`DataChannel` assembles one endpoint of a session:
+
+- a *transport* composite protocol composed of micro-protocols chosen
+  from a :class:`~repro.p2psap.context.ChannelConfig` — communication
+  mode (sync/async), buffer management, optionally reliability and
+  ordering, optionally a congestion controller;
+- a *physical* composite protocol (Ethernet / InfiniBand / Myrinet)
+  below it;
+- glue handlers that frame outgoing segments and dispatch incoming ones
+  into the receive pipeline.
+
+Segment format: every frame carries a single ``transport`` header with a
+``kind`` discriminator — ``DATA`` (application payload), ``ACK``
+(transport acknowledgement, reliability), ``APPACK`` (application-level
+acknowledgement, synchronous mode).  Data segments are transmitted as
+fresh *shell* messages sharing the payload object (zero-copy) so that
+retransmissions never mutate shared header state.
+
+Reconfiguration (:meth:`reconfigure`) substitutes micro-protocols in
+place while buffered data survives in the composite's shared state —
+this is what lets "the same P2P_Send from peer A to peer B ... be first
+synchronous and then become asynchronous".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..cactus.composite import CompositeProtocol, ProtocolStack
+from ..cactus.messages import Message
+from ..simnet.kernel import Event, Simulator
+from ..simnet.network import Network, Node
+from .context import ChannelConfig, CommMode
+from .microprotocols.buffers import BufferManagement
+from .microprotocols.congestion import make_congestion
+from .microprotocols.modes import make_mode
+from .microprotocols.ordering import Ordering
+from .microprotocols.reliability import Reliability
+from .physical import make_physical
+
+__all__ = ["DataChannel"]
+
+_MODE_MICRO_NAMES = ("mode-sync", "mode-async")
+_CC_MICRO_NAMES = ("cc-newreno", "cc-htcp", "cc-tahoe", "cc-scp")
+
+
+class DataChannel:
+    """One endpoint of a P2PSAP session's data path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        local: Node,
+        remote_name: str,
+        port: int,
+        config: ChannelConfig,
+        rx_capacity: int = 1024,
+    ):
+        self.sim = sim
+        self.network = network
+        self.local = local
+        self.remote_name = remote_name
+        self.port = port
+        self.config: Optional[ChannelConfig] = None
+        self.rx_capacity = rx_capacity
+        self.closed = False
+        self.stats_reconfigurations = 0
+        #: Configuration epoch.  Sequence numbers are scoped to an epoch;
+        #: segments from another epoch are dropped on arrival, so a
+        #: reconfiguration gives reliability/ordering a clean sequence
+        #: space even with old segments still in flight.
+        self.epoch = 0
+        self.stats_stale_epoch = 0
+
+        self.transport = CompositeProtocol(
+            sim, f"transport[{local.name}->{remote_name}:{port}]"
+        )
+        self.physical = make_physical(
+            config.physical, sim, network, local, remote_name, port
+        )
+        self.stack = ProtocolStack([self.transport, self.physical])
+
+        # Permanent glue (survives reconfiguration).
+        self.transport.bus.bind("TxSegment", self._transmit_data, order=100)
+        self.transport.bus.bind("SendControl", self._transmit_control, order=100)
+        self.transport.bus.bind("FromBelow", self._dispatch, order=0)
+        self.buffers = BufferManagement(rx_capacity=rx_capacity)
+        self.transport.add_micro(self.buffers)
+
+        self._apply_config(config)
+
+    # -- configuration -----------------------------------------------------------
+
+    def _apply_config(self, config: ChannelConfig) -> None:
+        """Stack the config's micro-protocols into the transport layer."""
+        # Receive pipeline: Rx entry -> [reliability] -> [ordering] -> RxDeliver.
+        after_reliability = "RxOrdered" if config.ordered else "RxDeliver"
+        if config.reliable:
+            self.transport.add_micro(
+                Reliability(next_stage=after_reliability)
+            )
+        if config.ordered:
+            self.transport.add_micro(
+                Ordering(input_stage="RxOrdered", next_stage="RxDeliver")
+            )
+        if config.congestion != "none":
+            self.transport.add_micro(make_congestion(config.congestion))
+        self.transport.add_micro(make_mode(config.mode))
+        self.config = config
+
+    def _strip_config(self) -> None:
+        """Remove all configuration-dependent micro-protocols."""
+        for name in (
+            *_MODE_MICRO_NAMES,
+            "reliability",
+            "ordering",
+            *_CC_MICRO_NAMES,
+        ):
+            if self.transport.has_micro(name):
+                self.transport.remove_micro(name)
+
+    def reconfigure(self, new_config: ChannelConfig) -> None:
+        """Swap the channel to ``new_config`` in place.
+
+        Queued outgoing messages and undelivered received messages are
+        preserved (they live in the composite's shared state, which only
+        buffer management owns, and buffer management is permanent).
+        """
+        if self.closed:
+            raise RuntimeError("reconfigure on a closed channel")
+        if new_config == self.config:
+            return
+        if new_config.physical != self.config.physical:
+            new_phys = make_physical(
+                new_config.physical, self.sim, self.network,
+                self.local, self.remote_name, self.port,
+            )
+            old_phys = self.physical
+            self.stack.substitute_layer(old_phys, new_phys)
+            old_phys.close()
+            self.physical = new_phys
+        self._strip_config()
+        self._apply_config(new_config)
+        self.stats_reconfigurations += 1
+        # New epoch, fresh sequence space; re-sequence anything still
+        # queued so it goes out consistently under the new regime.
+        self.epoch += 1
+        queue = self.transport.shared["tx_queue"]
+        for i, queued in enumerate(queue):
+            queued.meta["seq"] = i
+        self.buffers._next_seq = len(queue)
+        # Whatever was waiting for window space gets another chance under
+        # the new regime.
+        self.transport.bus.raise_event("TrySend")
+
+    # -- application-facing operations ------------------------------------------------
+
+    def user_send(self, payload: Any) -> Event:
+        """Send ``payload``; the returned event completes per the mode
+        micro-protocol's semantics (immediately if asynchronous, on
+        application-level acknowledgement if synchronous)."""
+        if self.closed:
+            raise RuntimeError("send on a closed channel")
+        msg = Message(payload)
+        completion = self.sim.event()
+        msg.meta["completion"] = completion
+        self.transport.bus.raise_event("UserSend", msg)
+        return completion
+
+    def user_receive(self) -> Event:
+        """Receive per the mode's semantics.  The event fires with a
+        :class:`Message` (or ``None`` for an empty asynchronous receive);
+        use ``.payload`` on the result."""
+        if self.closed:
+            raise RuntimeError("receive on a closed channel")
+        request = self.sim.event()
+        self.transport.bus.raise_event("UserReceive", request)
+        return request
+
+    def user_receive_nowait(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, payload)`` or ``(False, None)``."""
+        ok, msg = self.buffers.take_nowait()
+        return (True, msg.payload) if ok else (False, None)
+
+    def user_receive_latest_nowait(self) -> tuple[bool, Any]:
+        """Non-blocking receive of the newest message, dropping staler ones."""
+        ok, msg = self.buffers.take_latest_nowait()
+        return (True, msg.payload) if ok else (False, None)
+
+    def pending_rx(self) -> int:
+        return self.buffers.pending_rx()
+
+    # -- glue: transmit ------------------------------------------------------------
+
+    def _transmit_data(self, msg: Message) -> None:
+        """Frame an application message as a DATA segment and send it.
+
+        A fresh shell message is built per transmission: the payload
+        object is shared (zero-copy), the header is new, so
+        retransmissions are isolated.
+        """
+        if msg.meta.get("fragmented_away"):
+            return  # replaced by its fragments (fragmentation micro)
+        shell = Message(msg.payload)
+        shell.push_header(
+            "transport",
+            kind="DATA",
+            epoch=self.epoch,
+            seq=msg.meta["seq"],
+            msg_id=msg.message_id,
+            needs_appack=bool(msg.meta.get("needs_appack")),
+            ts=msg.meta.get("tx_time", self.sim.now),
+            frag=msg.meta.get("frag"),
+        )
+        self.transport.send_down(shell)
+
+    def _transmit_control(self, kind: str, fields: dict) -> None:
+        shell = Message(None)
+        shell.push_header("transport", kind=kind, epoch=self.epoch, **fields)
+        self.transport.send_down(shell)
+
+    # -- glue: receive ---------------------------------------------------------------
+
+    def _dispatch(self, msg: Message) -> None:
+        fields = msg.pop_header("transport")
+        if fields.get("epoch", 0) != self.epoch:
+            self.stats_stale_epoch += 1
+            return
+        kind = fields["kind"]
+        if kind == "DATA":
+            msg.meta["seq"] = fields["seq"]
+            msg.meta["src_message_id"] = fields["msg_id"]
+            msg.meta["needs_appack_rx"] = fields["needs_appack"]
+            if fields.get("frag") is not None:
+                msg.meta["frag"] = fields["frag"]
+            self.transport.bus.raise_event(self._rx_entry(), msg, fields)
+        elif kind == "ACK":
+            self.transport.bus.raise_event("RxAck", fields["seq"], fields.get("echo_ts"))
+        elif kind == "APPACK":
+            self.transport.bus.raise_event("RxAppAck", fields["msg_id"])
+        else:
+            raise ValueError(f"unknown segment kind {kind!r}")
+
+    def _rx_entry(self) -> str:
+        if self.config.reliable:
+            return "RxData"
+        if self.config.ordered:
+            return "RxOrdered"
+        return "RxDeliver"
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the whole endpoint: micro-protocols and physical pump."""
+        if self.closed:
+            return
+        self.closed = True
+        self.transport.teardown()
+        self.physical.close()
+
+    def describe(self) -> str:
+        return (
+            f"{self.local.name}->{self.remote_name}:{self.port} "
+            f"[{self.config.describe()}/{self.config.physical}]"
+        )

@@ -1,0 +1,31 @@
+"""Transport-layer micro-protocols of the P2PSAP data channel."""
+
+from .buffers import BufferManagement
+from .congestion import (
+    CongestionControl,
+    HTCPCongestion,
+    NewRenoCongestion,
+    SCPCongestion,
+    TahoeCongestion,
+    make_congestion,
+)
+from .fragmentation import Fragmentation
+from .modes import AsynchronousMode, SynchronousMode, make_mode
+from .ordering import Ordering
+from .reliability import Reliability
+
+__all__ = [
+    "Fragmentation",
+    "BufferManagement",
+    "CongestionControl",
+    "HTCPCongestion",
+    "NewRenoCongestion",
+    "SCPCongestion",
+    "TahoeCongestion",
+    "make_congestion",
+    "AsynchronousMode",
+    "SynchronousMode",
+    "make_mode",
+    "Ordering",
+    "Reliability",
+]

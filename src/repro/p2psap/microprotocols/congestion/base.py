@@ -1,0 +1,147 @@
+"""Congestion-control micro-protocol base class.
+
+Congestion control in the data channel is window-based: the
+buffer-management micro-protocol may have at most ``cwnd`` unacked
+segments in flight.  Controllers adjust ``cwnd`` (stored in the
+composite's shared state so buffer management reads it without coupling
+to a concrete controller) in response to three bus events raised by the
+reliability micro-protocol:
+
+``AckReceived(seq, rtt)``
+    a segment was acknowledged, with a round-trip sample;
+``DupAck(seq, count)``
+    a duplicate acknowledgement (count is consecutive dups for seq);
+``SegmentTimeout(seq)``
+    a retransmission timer expired.
+
+Each concrete controller implements the classic state machines; unit
+tests drive them directly through :meth:`on_ack` / :meth:`on_dupack` /
+:meth:`on_timeout` and assert the window traces, independent of any
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ....cactus.microprotocol import MicroProtocol
+
+__all__ = ["CongestionControl", "CWND_KEY", "SSTHRESH_KEY"]
+
+CWND_KEY = "cwnd"
+SSTHRESH_KEY = "ssthresh"
+
+#: Upper bound on the window, in segments.  Generous enough never to be
+#: the binding constraint in the paper's scenarios.
+MAX_WINDOW = 1 << 20
+
+
+class CongestionControl(MicroProtocol):
+    """Shared machinery: window accounting, RTT estimation (RFC 6298)."""
+
+    name = "congestion"
+
+    INITIAL_WINDOW = 2.0
+    MIN_WINDOW = 1.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cwnd = float(self.INITIAL_WINDOW)
+        self.ssthresh = float(MAX_WINDOW)
+        # RFC 6298 RTT estimation state.
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = 1.0
+        self.stats_acks = 0
+        self.stats_timeouts = 0
+        self.stats_fast_retransmits = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_init(self) -> None:
+        self.bind("AckReceived", self._handle_ack)
+        self.bind("DupAck", self._handle_dupack)
+        self.bind("SegmentTimeout", self._handle_timeout)
+        self._publish()
+
+    def on_remove(self) -> None:
+        # Leave a clean slate: with no controller, the channel is
+        # unwindowed (buffer management treats a missing cwnd as inf).
+        if self.composite is not None:
+            self.composite.shared.pop(CWND_KEY, None)
+            self.composite.shared.pop(SSTHRESH_KEY, None)
+            self.composite.shared.pop("rto", None)
+
+    def _publish(self) -> None:
+        if self.composite is not None:
+            self.composite.shared[CWND_KEY] = self.cwnd
+            self.composite.shared[SSTHRESH_KEY] = self.ssthresh
+            self.composite.shared["rto"] = self.rto
+
+    # -- bus handlers -----------------------------------------------------------
+
+    def _handle_ack(self, seq: int, rtt: Optional[float] = None) -> None:
+        self.on_ack(rtt)
+        self._publish()
+        self._pump()
+
+    def _handle_dupack(self, seq: int, count: int = 1) -> None:
+        self.on_dupack(count)
+        self._publish()
+        self._pump()
+
+    def _handle_timeout(self, seq: int) -> None:
+        self.on_timeout()
+        self._publish()
+        self._pump()
+
+    def _pump(self) -> None:
+        # A window change may allow more segments out.
+        if self.composite is not None:
+            self.composite.bus.raise_event("TrySend")
+
+    # -- RTT estimation (shared by all controllers) -------------------------------
+
+    def observe_rtt(self, rtt: float) -> None:
+        """RFC 6298 SRTT/RTTVAR/RTO update."""
+        if rtt <= 0:
+            return
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto = max(0.2, self.srtt + 4.0 * self.rttvar)
+
+    # -- controller state machine hooks --------------------------------------------
+
+    def on_ack(self, rtt: Optional[float] = None) -> None:
+        """New-data acknowledgement.  Subclasses implement growth."""
+        raise NotImplementedError
+
+    def on_dupack(self, count: int) -> None:
+        """Duplicate ack; default ignores (Tahoe-era fast retransmit is
+        opt-in per controller)."""
+
+    def on_timeout(self) -> None:
+        """Retransmission timeout.  Subclasses implement collapse."""
+        raise NotImplementedError
+
+    # -- common moves ------------------------------------------------------------
+
+    def _slow_start_or_avoid(self) -> None:
+        """The standard TCP increase rule."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start: +1 per ack (doubling per RTT)
+        else:
+            self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+        self.cwnd = min(self.cwnd, float(MAX_WINDOW))
+
+    def _collapse(self) -> None:
+        """RTO reaction shared by Tahoe/New-Reno: multiplicative ssthresh,
+        window back to one segment."""
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.MIN_WINDOW
+        self.stats_timeouts += 1
+        self.rto = min(self.rto * 2.0, 60.0)  # RFC 6298 backoff

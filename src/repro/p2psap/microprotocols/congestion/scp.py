@@ -1,0 +1,67 @@
+"""SCP congestion control.
+
+CTP (Wong, Hiltunen, Schlichting, INFOCOM '01) ships an SCP
+congestion-control micro-protocol; the paper lists it among the existing
+controllers P2PSAP inherits.  SCP pairs TCP-style window halving with a
+Vegas-like *proactive* element: it tracks the base RTT and backs off
+additively when queueing delay builds up, before losses occur — a good
+citizen on the low-latency cluster fabrics the original CTP targeted.
+
+The implementation keeps TCP slow start below ssthresh; above it, the
+expected/actual throughput comparison adjusts the window:
+
+    diff = cwnd/base_rtt − cwnd/srtt   (segments per second of queueing)
+
+    diff·base_rtt < a  → window grows by 1 per RTT
+    diff·base_rtt > b  → window shrinks by 1 per RTT
+
+with the classic Vegas thresholds a=1, b=3 segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionControl
+
+__all__ = ["SCPCongestion"]
+
+
+class SCPCongestion(CongestionControl):
+    name = "cc-scp"
+
+    ALPHA_SEGS = 1.0
+    BETA_SEGS = 3.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.base_rtt: Optional[float] = None
+
+    def on_ack(self, rtt: Optional[float] = None) -> None:
+        self.stats_acks += 1
+        if rtt is not None:
+            self.observe_rtt(rtt)
+            self.base_rtt = rtt if self.base_rtt is None else min(self.base_rtt, rtt)
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+            return
+        if self.base_rtt is None or self.srtt is None or self.srtt <= 0:
+            self.cwnd += 1.0 / self.cwnd
+            return
+        expected = self.cwnd / self.base_rtt
+        actual = self.cwnd / self.srtt
+        backlog = (expected - actual) * self.base_rtt  # segments queued
+        if backlog < self.ALPHA_SEGS:
+            self.cwnd += 1.0 / self.cwnd
+        elif backlog > self.BETA_SEGS:
+            self.cwnd = max(self.cwnd - 1.0 / self.cwnd, self.MIN_WINDOW)
+        # else: equilibrium — hold the window.
+
+    def on_timeout(self) -> None:
+        self._collapse()
+
+    def on_dupack(self, count: int) -> None:
+        if count >= 3:
+            self.stats_fast_retransmits += 1
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh

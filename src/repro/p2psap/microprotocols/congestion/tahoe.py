@@ -1,0 +1,37 @@
+"""TCP-Tahoe congestion control.
+
+One of the controllers CTP ships with ("CTP has several micro-protocols
+implementing SCP congestion control and TCP-Tahoe congestion control").
+Tahoe treats every loss signal the same way: ssthresh ← cwnd/2 and a
+full collapse to one segment, followed by slow start — including on
+triple duplicate acks (fast retransmit but *no* fast recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionControl
+
+__all__ = ["TahoeCongestion"]
+
+
+class TahoeCongestion(CongestionControl):
+    name = "cc-tahoe"
+
+    DUPACK_THRESHOLD = 3
+
+    def on_ack(self, rtt: Optional[float] = None) -> None:
+        self.stats_acks += 1
+        if rtt is not None:
+            self.observe_rtt(rtt)
+        self._slow_start_or_avoid()
+
+    def on_dupack(self, count: int) -> None:
+        if count >= self.DUPACK_THRESHOLD:
+            # Fast retransmit, Tahoe-style: same collapse as a timeout.
+            self.stats_fast_retransmits += 1
+            self._collapse()
+
+    def on_timeout(self) -> None:
+        self._collapse()

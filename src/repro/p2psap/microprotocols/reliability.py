@@ -1,0 +1,137 @@
+"""Reliability micro-protocol: per-segment acknowledgement + retransmit.
+
+Table I stacks reliability on every cell except the inter-cluster
+asynchronous ones, where "message losses recovery time may be comparable
+with updating time, thus those messages can become obsolete.  Hence,
+reliability micro protocols are not needed in this case."
+
+Sender side
+    every outgoing DATA segment (``TxSegment``) is registered in the
+    ``in_flight`` set and armed with a retransmission timer (RTO from
+    the congestion controller's RFC 6298 estimate, or a local default).
+    On timeout the segment is retransmitted, ``SegmentTimeout`` is raised
+    for the congestion controller, and the timer re-arms with backoff.
+    On acknowledgement the RTT sample is extracted from the echoed
+    timestamp and ``AckReceived(seq, rtt)`` is raised.
+
+Receiver side
+    every DATA segment is acknowledged (including duplicates — the ack
+    may have been the casualty), deduplicated by sequence number, and
+    fresh segments continue down the receive pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...cactus.messages import Message
+from ...cactus.microprotocol import MicroProtocol
+
+__all__ = ["Reliability"]
+
+
+class Reliability(MicroProtocol):
+    name = "reliability"
+
+    #: Give-up threshold; a segment retransmitted this many times is
+    #: abandoned (the peer is presumed dead — fault tolerance's problem).
+    MAX_RETRANSMITS = 50
+
+    def __init__(self, default_rto: float = 1.0, next_stage: str = "RxDeliver"):
+        super().__init__()
+        if default_rto <= 0:
+            raise ValueError("default_rto must be positive")
+        self.default_rto = default_rto
+        self.next_stage = next_stage
+        self._unacked: dict[int, Message] = {}
+        self._retransmit_counts: dict[int, int] = {}
+        self._seen_rx: set[int] = set()
+        self.stats_retransmits = 0
+        self.stats_abandoned = 0
+        self.stats_dup_rx = 0
+        self.stats_acks_tx = 0
+
+    def on_init(self) -> None:
+        shared = self.composite.shared
+        shared["in_flight"] = set()
+        self.bind("TxSegment", self._on_tx_segment, order=10)
+        self.bind("RxData", self._on_rx_data, order=10)
+        self.bind("RxAck", self._on_rx_ack, order=10)
+        self.bind("RetransmitCheck", self._on_retransmit_check, order=10)
+
+    def on_remove(self) -> None:
+        # Reconfiguration away from reliable mode forgets in-flight state;
+        # messages already queued are delivered unreliably from here on.
+        if self.composite is not None:
+            self.composite.shared.pop("in_flight", None)
+        self._unacked.clear()
+
+    # -- sender side -------------------------------------------------------------
+
+    def _rto(self) -> float:
+        return self.composite.shared.get("rto", self.default_rto)
+
+    def _on_tx_segment(self, msg: Message) -> None:
+        if msg.meta.get("fragmented_away"):
+            return  # replaced by its fragments; nothing goes on the wire
+        seq = msg.meta["seq"]
+        if seq not in self._unacked:  # first transmission
+            self._unacked[seq] = msg
+            self._retransmit_counts[seq] = 0
+            self.composite.shared["in_flight"].add(seq)
+        msg.meta["tx_time"] = self.composite.sim.now
+        self.set_timer(self._rto(), "RetransmitCheck", seq)
+
+    def _on_retransmit_check(self, seq: int) -> None:
+        if seq not in self._unacked:
+            return  # acked in the meantime
+        count = self._retransmit_counts[seq] + 1
+        self._retransmit_counts[seq] = count
+        if count > self.MAX_RETRANSMITS:
+            self.stats_abandoned += 1
+            self._forget(seq)
+            self.composite.bus.raise_event("SegmentAbandoned", seq)
+            return
+        self.stats_retransmits += 1
+        # Tell the congestion controller first (window collapse), then
+        # put the segment back on the wire.
+        self.composite.bus.raise_event("SegmentTimeout", seq)
+        msg = self._unacked[seq]
+        msg.meta["tx_time"] = self.composite.sim.now
+        msg.meta["is_retransmit"] = True
+        self.composite.bus.raise_event("TxSegment", msg)
+
+    def _on_rx_ack(self, seq: int, echo_ts: Optional[float]) -> None:
+        if seq not in self._unacked:
+            return  # stale ack (already acked, or from before a reconfig)
+        # Karn's algorithm: only un-retransmitted segments give RTT samples.
+        rtt = None
+        if echo_ts is not None and self._retransmit_counts.get(seq, 0) == 0:
+            rtt = self.composite.sim.now - echo_ts
+        self._forget(seq)
+        self.composite.bus.raise_event("AckReceived", seq, rtt)
+        self.composite.bus.raise_event("TrySend")
+
+    def _forget(self, seq: int) -> None:
+        self._unacked.pop(seq, None)
+        self._retransmit_counts.pop(seq, None)
+        self.composite.shared["in_flight"].discard(seq)
+
+    # -- receiver side -----------------------------------------------------------
+
+    def _on_rx_data(self, msg: Message, fields: dict) -> None:
+        seq = fields["seq"]
+        # Always ack — a duplicate usually means our previous ack was lost.
+        self.stats_acks_tx += 1
+        self.composite.bus.raise_event(
+            "SendControl", "ACK", {"seq": seq, "echo_ts": fields.get("ts")}
+        )
+        if seq in self._seen_rx:
+            self.stats_dup_rx += 1
+            return
+        self._seen_rx.add(seq)
+        self.composite.bus.raise_event(self.next_stage, msg, fields)
+
+    @property
+    def unacked_count(self) -> int:
+        return len(self._unacked)

@@ -1,0 +1,331 @@
+"""Socket-like API on top of P2PSAP.
+
+"In order to facilitate programming, we have placed a socket-like API on
+the top of our protocol.  Application can open and close connection,
+send and receive data.  Furthermore, application will be able to get
+session state and change session behavior or architecture through socket
+options ...  Session management commands like listen, open, close,
+setsockoption and getsockoption are directed to Control channel; while
+data exchange commands, i.e. send and receive commands are directed to
+Data channel."
+
+:class:`P2PSAP` is one node's protocol instance (control agent + session
+table); :class:`P2PSAPSocket` is the application handle.  All blocking
+operations return kernel events to ``yield`` on, mirroring the
+generator-process style of the substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from ..simnet.kernel import Channel, Event, Simulator
+from ..simnet.network import Network
+from .context import ChannelConfig, Scheme
+from .control_channel import (
+    ContextMonitor,
+    Controller,
+    Reconfiguration,
+    ReliableControlLink,
+)
+from .data_channel import DataChannel
+from .rules import RuleEngine
+from .session import Session, SessionState, allocate_port
+
+__all__ = ["P2PSAP", "P2PSAPSocket", "SocketError"]
+
+
+class SocketError(RuntimeError):
+    """Socket API misuse or session failure."""
+
+
+class P2PSAP:
+    """One node's P2PSAP protocol instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_name: str,
+        rules: Optional[RuleEngine] = None,
+        default_scheme: Scheme = Scheme.HYBRID,
+        rx_capacity: int = 1024,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node = network.nodes[node_name]
+        self.default_scheme = default_scheme
+        self.rx_capacity = rx_capacity
+        self.monitor = ContextMonitor(network, self.node)
+        self.controller = Controller(self.monitor, rules)
+        self.reconfiguration = Reconfiguration(sim)
+        self.control = ReliableControlLink(sim, network, self.node, self._on_control)
+        self.sessions: dict[str, Session] = {}
+        self._session_counter = itertools.count()
+        self._accept_queue: Channel = sim.channel(name=f"accept-{node_name}")
+        self.monitor.subscribe(self._on_topology_change)
+        self._closed = False
+
+    # -- public API ---------------------------------------------------------------
+
+    def socket(self, scheme: Optional[Scheme | str] = None) -> "P2PSAPSocket":
+        """A fresh socket; ``scheme`` presets the computation-scheme option."""
+        sock = P2PSAPSocket(self)
+        if scheme is not None:
+            sock.setsockopt("scheme", scheme)
+        return sock
+
+    def close(self) -> None:
+        """Close every session and stop the control agent."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self.sessions.values()):
+            if session.state is not SessionState.CLOSED:
+                self._close_session(session, notify_peer=True)
+        self.control.close()
+
+    # -- session opening -------------------------------------------------------------
+
+    def open_session(self, remote: str, scheme: Scheme) -> Session:
+        """Initiator side: decide config, build channel, send OPEN."""
+        if remote == self.node.name:
+            raise SocketError("P2PSAP sessions are between distinct peers")
+        if remote not in self.network.nodes:
+            raise SocketError(f"unknown peer {remote!r}")
+        config = self.controller.decide(scheme, remote)
+        port = allocate_port(self.network)
+        session_id = f"{self.node.name}/{remote}#{next(self._session_counter)}"
+        session = Session(
+            session_id=session_id, remote=remote, port=port, scheme=scheme,
+            initiator=True, config=config, established=self.sim.event(),
+        )
+        session.channel = DataChannel(
+            self.sim, self.network, self.node, remote, port, config,
+            rx_capacity=self.rx_capacity,
+        )
+        self.sessions[session_id] = session
+        self.control.send(remote, {
+            "kind": "OPEN",
+            "session_id": session_id,
+            "port": port,
+            "scheme": scheme.value,
+            "config": config,
+        })
+        return session
+
+    # -- control dispatch ------------------------------------------------------------
+
+    def _on_control(self, src: str, body: dict) -> None:
+        kind = body["kind"]
+        if kind == "OPEN":
+            self._handle_open(src, body)
+        elif kind == "OPEN_ACK":
+            self._handle_open_ack(body)
+        elif kind == "RECONFIG":
+            self._handle_reconfig(src, body)
+        elif kind == "RECONFIG_ACK":
+            pass  # informational; initiator already applied
+        elif kind == "CLOSE":
+            self._handle_close(body)
+        else:
+            raise SocketError(f"unknown control message kind {kind!r}")
+
+    def _handle_open(self, src: str, body: dict) -> None:
+        session_id = body["session_id"]
+        if session_id in self.sessions:  # duplicate OPEN (control retry)
+            return
+        config: ChannelConfig = body["config"]
+        session = Session(
+            session_id=session_id, remote=src, port=body["port"],
+            scheme=Scheme.parse(body["scheme"]), initiator=False,
+            config=config, state=SessionState.ESTABLISHED,
+        )
+        session.channel = DataChannel(
+            self.sim, self.network, self.node, src, body["port"], config,
+            rx_capacity=self.rx_capacity,
+        )
+        self.sessions[session_id] = session
+        self._accept_queue.put(session)
+        self.control.send(src, {"kind": "OPEN_ACK", "session_id": session_id})
+
+    def _handle_open_ack(self, body: dict) -> None:
+        session = self.sessions.get(body["session_id"])
+        if session is None or session.state is not SessionState.OPENING:
+            return
+        session.state = SessionState.ESTABLISHED
+        if session.established is not None and not session.established.triggered:
+            session.established.succeed(session)
+
+    def _handle_reconfig(self, src: str, body: dict) -> None:
+        session = self.sessions.get(body["session_id"])
+        if session is None or session.state is SessionState.CLOSED:
+            return
+        config: ChannelConfig = body["config"]
+        if "scheme" in body:
+            session.scheme = Scheme.parse(body["scheme"])
+
+        def apply_and_ack():
+            yield from self.reconfiguration.apply(session, config)
+            session.state = SessionState.ESTABLISHED
+            self.control.send(src, {
+                "kind": "RECONFIG_ACK", "session_id": session.session_id,
+            })
+
+        session.state = SessionState.RECONFIGURING
+        self.sim.spawn(apply_and_ack(), name=f"reconfig-{session.session_id}")
+
+    def _handle_close(self, body: dict) -> None:
+        session = self.sessions.get(body["session_id"])
+        if session is not None and session.state is not SessionState.CLOSED:
+            self._close_session(session, notify_peer=False)
+
+    def _close_session(self, session: Session, notify_peer: bool) -> None:
+        session.state = SessionState.CLOSED
+        if session.channel is not None:
+            session.channel.close()
+        if notify_peer and not self._closed or notify_peer:
+            self.control.send(session.remote, {
+                "kind": "CLOSE", "session_id": session.session_id,
+            })
+
+    # -- reconfiguration decisions -------------------------------------------------------
+
+    def request_reconfiguration(self, session: Session,
+                                scheme: Optional[Scheme] = None) -> bool:
+        """Re-evaluate (initiator side) and coordinate if config changed.
+
+        Returns True if a reconfiguration was initiated.
+        """
+        if scheme is not None:
+            session.scheme = scheme
+        new_config = self.controller.needs_reconfiguration(session)
+        if new_config is None:
+            return False
+        session.state = SessionState.RECONFIGURING
+        # Coordinate: tell the peer, and apply locally.
+        self.control.send(session.remote, {
+            "kind": "RECONFIG",
+            "session_id": session.session_id,
+            "config": new_config,
+            "scheme": session.scheme.value,
+        })
+
+        def apply_local():
+            yield from self.reconfiguration.apply(session, new_config)
+            session.state = SessionState.ESTABLISHED
+
+        self.sim.spawn(apply_local(), name=f"reconfig-{session.session_id}")
+        return True
+
+    def _on_topology_change(self) -> None:
+        """Trigger: re-evaluate every initiator session against the rules."""
+        for session in self.sessions.values():
+            if session.initiator and session.state is SessionState.ESTABLISHED:
+                self.request_reconfiguration(session)
+
+
+class P2PSAPSocket:
+    """Application handle: socket options + connect/accept/send/receive."""
+
+    def __init__(self, protocol: P2PSAP):
+        self.protocol = protocol
+        self.sim = protocol.sim
+        self._options: dict[str, Any] = {
+            "scheme": protocol.default_scheme,
+            "rx_capacity": protocol.rx_capacity,
+        }
+        self.session: Optional[Session] = None
+
+    # -- socket options (control channel) ------------------------------------------
+
+    def setsockopt(self, name: str, value: Any) -> None:
+        """Set an option; changing ``scheme`` on a connected socket
+        triggers a controller re-evaluation (possible live reconfiguration
+        of the data channel)."""
+        if name == "scheme":
+            value = Scheme.parse(value)
+            self._options["scheme"] = value
+            if self.session is not None and self.session.initiator:
+                self.protocol.request_reconfiguration(self.session, scheme=value)
+        elif name == "rx_capacity":
+            if int(value) < 1:
+                raise ValueError("rx_capacity must be >= 1")
+            self._options["rx_capacity"] = int(value)
+        else:
+            raise SocketError(f"unknown socket option {name!r}")
+
+    def getsockopt(self, name: str) -> Any:
+        if name == "state":
+            return self.session.state if self.session else SessionState.CLOSED
+        if name == "config":
+            return self.session.config if self.session else None
+        try:
+            return self._options[name]
+        except KeyError:
+            raise SocketError(f"unknown socket option {name!r}") from None
+
+    # -- session management (control channel) ---------------------------------------
+
+    def connect(self, remote: str) -> Event:
+        """Open a session to ``remote``; yield the returned event."""
+        if self.session is not None:
+            raise SocketError("socket already connected")
+        self.session = self.protocol.open_session(
+            remote, self._options["scheme"]
+        )
+        return self.session.established
+
+    def accept(self) -> Event:
+        """Wait for an inbound session; fires with a connected socket."""
+        ev = self.protocol._accept_queue.get()
+        result = self.sim.event()
+
+        def on_session(got: Event) -> None:
+            sock = P2PSAPSocket(self.protocol)
+            sock.session = got.value
+            sock._options["scheme"] = got.value.scheme
+            result.succeed(sock)
+
+        ev.callbacks.append(on_session)
+        return result
+
+    def close(self) -> None:
+        if self.session is not None and self.session.state is not SessionState.CLOSED:
+            self.protocol._close_session(self.session, notify_peer=True)
+
+    # -- data exchange (data channel) ----------------------------------------------------
+
+    def _channel(self) -> DataChannel:
+        if self.session is None:
+            raise SocketError("socket not connected")
+        return self.session.require_open()
+
+    def send(self, payload: Any) -> Event:
+        """P2P-style send; completion semantics follow the configured
+        communication mode (the application does not choose)."""
+        return self._channel().user_send(payload)
+
+    def recv(self) -> Event:
+        """Mode-dependent receive; fires with the payload (or None for an
+        empty asynchronous receive)."""
+        inner = self._channel().user_receive()
+        outer = self.sim.event()
+
+        def unwrap(ev: Event) -> None:
+            msg = ev.value
+            outer.succeed(None if msg is None else msg.payload)
+
+        inner.callbacks.append(unwrap)
+        return outer
+
+    def recv_nowait(self) -> tuple[bool, Any]:
+        return self._channel().user_receive_nowait()
+
+    def recv_latest_nowait(self) -> tuple[bool, Any]:
+        return self._channel().user_receive_latest_nowait()
+
+    @property
+    def remote(self) -> Optional[str]:
+        return self.session.remote if self.session else None

@@ -1,0 +1,49 @@
+"""Discrete-event network substrate (the simulated NICTA testbed).
+
+Submodules
+----------
+kernel
+    Virtual-time event loop, generator-based processes, FIFO channels.
+network
+    Nodes with a CPU-cost model, links with bandwidth/latency/Netem
+    impairments, cluster-aware routing.
+topology
+    Builders for the NICTA testbed and heterogeneous variants.
+oml
+    OML-style measurement points and series collection.
+oedl
+    OEDL-style declarative experiment descriptions.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Channel,
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .network import Link, Netem, Network, NetworkError, NoRouteError, Node, Packet
+from .oedl import Deployment, ExperimentDescription
+from .oml import MeasurementLibrary, MeasurementPoint, Sample, SeriesStats
+from .topology import (
+    NICTA_SPEC,
+    TestbedSpec,
+    heterogeneous_testbed,
+    nicta_testbed,
+    split_clusters,
+)
+
+__all__ = [
+    "AllOf", "AnyOf", "Channel", "DeadlockError", "Event", "Interrupt",
+    "Process", "SimulationError", "Simulator", "Timeout",
+    "Link", "Netem", "Network", "NetworkError", "NoRouteError", "Node", "Packet",
+    "Deployment", "ExperimentDescription",
+    "MeasurementLibrary", "MeasurementPoint", "Sample", "SeriesStats",
+    "NICTA_SPEC", "TestbedSpec", "heterogeneous_testbed", "nicta_testbed",
+    "split_clusters",
+]

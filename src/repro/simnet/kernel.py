@@ -1,0 +1,572 @@
+"""Deterministic discrete-event simulation (DES) kernel with virtual time.
+
+This module is the substrate that replaces the paper's NICTA testbed.  All
+higher layers (the simulated network, the P2PSAP protocol stack, the P2PDC
+environment and the distributed obstacle-problem solver) execute on top of
+this kernel: computation costs and network delays advance a *virtual clock*
+while the actual numerics run natively in NumPy.  Because event ordering is
+a pure function of (event time, priority, sequence number), a simulation
+with a fixed RNG seed is exactly reproducible.
+
+The programming model is generator-based cooperative processes, in the
+style of SimPy:
+
+>>> sim = Simulator()
+>>> def proc(sim):
+...     yield sim.timeout(1.5)
+...     return "done"
+>>> p = sim.spawn(proc(sim))
+>>> sim.run()
+>>> p.value
+'done'
+>>> sim.now
+1.5
+
+A process is any generator that yields :class:`Event` instances.  The
+kernel resumes the process when the yielded event fires, sending the event
+value back into the generator.  Processes are themselves events (they fire
+when the generator returns), so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Channel",
+    "Interrupt",
+    "SimulationError",
+    "DeadlockError",
+    "Simulator",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised by :meth:`Simulator.run` when processes remain but no event
+    is scheduled — every live process is waiting on something that can
+    never fire."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed by the interrupter.
+    Used by the fault-tolerance layer to model peer failure and by the
+    control channel to abort blocking waits during reconfiguration.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event priorities: ties at the same virtual time are broken by priority
+# first, then by creation order.  URGENT is reserved for kernel-internal
+# bookkeeping (e.g. process termination wake-ups) so that user timeouts at
+# the same instant observe a consistent state.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, may be *triggered* (given a value and
+    scheduled), and becomes *processed* once its callbacks have run.
+    Callbacks receive the event as their only argument.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_processed", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._scheduled = False
+        self._processed = False
+        # A failed event whose error was delivered to at least one waiter
+        # (or explicitly defused) does not take down the whole simulation.
+        self._defused = False
+
+    # -- state predicates ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the event queue."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (value, not exception)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception; waiters will have it raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, priority)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so the kernel does not re-raise."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        if math.isnan(delay):
+            raise ValueError("timeout delay is NaN")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, priority, delay=delay)
+
+
+class Process(Event):
+    """A running generator coroutine; fires when the generator returns.
+
+    The value of the process-event is the generator's return value, or the
+    uncaught exception if it failed.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._alive = True
+        # Kick the generator off at the current instant with URGENT
+        # priority so that spawn order == first-step order.
+        boot = Event(sim)
+        boot._value = None
+        boot._ok = True
+        boot.callbacks.append(self._resume)
+        sim._schedule(boot, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return self._alive
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a dead process is an error; interrupting a process
+        twice before it resumes queues both interrupts in order.
+        """
+        if not self._alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is not None and self._target.callbacks is not None:
+            # Detach from the event being waited on; the event itself may
+            # still fire later and must not resume us twice.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        kick = Event(self.sim)
+        kick._value = Interrupt(cause)
+        kick._ok = False
+        kick._defused = True
+        kick.callbacks.append(self._resume)
+        self.sim._schedule(kick, URGENT)
+
+    # -- kernel internals --------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            # Stale wakeup: an interrupt kick and the original target can
+            # fire in the same timestep; whichever arrives second finds
+            # the process already finished and must not touch the
+            # exhausted generator.
+            if not event._ok:
+                event._defused = True
+            return
+        self.sim._active_proc = self
+        try:
+            while True:
+                if event._ok:
+                    try:
+                        target = self.gen.send(event._value)
+                    except StopIteration as stop:
+                        self._alive = False
+                        self._target = None
+                        self.succeed(stop.value, priority=URGENT)
+                        return
+                    except BaseException as err:
+                        self._alive = False
+                        self._target = None
+                        self.fail(err, priority=URGENT)
+                        return
+                else:
+                    event._defused = True
+                    exc = event._value
+                    try:
+                        target = self.gen.throw(exc)
+                    except StopIteration as stop:
+                        self._alive = False
+                        self._target = None
+                        self.succeed(stop.value, priority=URGENT)
+                        return
+                    except BaseException as err:
+                        if err is exc and isinstance(err, Interrupt):
+                            # Process did not handle the interrupt: it dies
+                            # with the interrupt as its failure value.
+                            pass
+                        self._alive = False
+                        self._target = None
+                        self.fail(err, priority=URGENT)
+                        return
+                if not isinstance(target, Event):
+                    self._alive = False
+                    self._target = None
+                    self.fail(
+                        SimulationError(
+                            f"process {self.name!r} yielded {target!r}, "
+                            "which is not an Event"
+                        ),
+                        priority=URGENT,
+                    )
+                    return
+                if target.callbacks is None:
+                    # Already processed: deliver its value synchronously and
+                    # keep stepping the generator without a queue round-trip.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            self.sim._active_proc = None
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite wait conditions."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._n_fired = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # Only events whose callbacks have run count as "fired" here: a
+        # Timeout is *triggered* the moment it is created, but it has not
+        # yet happened on the timeline.
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.callbacks is None and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once all constituent events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._collect())
+
+
+class Channel:
+    """Unbounded FIFO message channel between processes.
+
+    ``put`` never blocks (the channel models a mailbox with unlimited
+    capacity — bounded behaviour is implemented by the protocol layers,
+    which is where the paper puts it too: the buffer-management
+    micro-protocol).  ``get`` returns an event that fires when a message
+    is available; messages are delivered in FIFO order to getters in FIFO
+    order.
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:  # cancelled/interrupted getter
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, getter: Event) -> None:
+        """Withdraw a pending get so it never steals a future item.
+
+        Needed by any-of waits: an un-fired get left registered would
+        consume the next put invisibly.  Cancelling a get that already
+        fired (or was never registered) is a no-op.
+        """
+        try:
+            self._getters.remove(getter)
+        except ValueError:
+            pass
+
+    def get_nowait(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, item)`` or ``(False, None)``.
+
+        This is the primitive beneath the *asynchronous receive* semantics
+        of the Asynchronous micro-protocol ("return the control to
+        application immediately with or without message").
+        """
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek(self) -> tuple[bool, Any]:
+        """Like :meth:`get_nowait` but leaves the item in the channel."""
+        if self._items:
+            return True, self._items[0]
+        return False, None
+
+    def clear(self) -> int:
+        """Drop all queued items, returning how many were dropped."""
+        n = len(self._items)
+        self._items.clear()
+        return n
+
+
+class Simulator:
+    """The virtual-time event loop.
+
+    Maintains a priority queue of ``(time, priority, seq, event)`` entries.
+    ``seq`` is a monotone counter making the ordering total and therefore
+    the whole simulation deterministic.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_proc: Optional[Process] = None
+        self._n_live_processes = 0
+        self._trace_hooks: list[Callable[[float, Event], None]] = []
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_proc
+
+    # -- event constructors --------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (a 'promise')."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        proc = Process(self, gen, name=name)
+        self._n_live_processes += 1
+        proc.callbacks.append(self._process_ended)
+        return proc
+
+    def channel(self, name: str = "") -> Channel:
+        """A fresh FIFO channel."""
+        return Channel(self, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def _process_ended(self, event: Event) -> None:
+        self._n_live_processes -= 1
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def add_trace_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Register a callable invoked as ``hook(time, event)`` for every
+        processed event.  Used by the OML measurement layer."""
+        self._trace_hooks.append(hook)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        event._processed = True
+        if not event._ok and not event._defused:
+            # Nobody waited on a failed event: surface the error.
+            raise event._value
+        for hook in self._trace_hooks:
+            hook(self._now, event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Raises :class:`DeadlockError` if live processes remain when the
+        queue drains and no ``until`` was given — that always indicates a
+        bug (e.g. a synchronous receive that can never be satisfied), so
+        failing loudly beats silently returning.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            horizon = Timeout(self, until - self._now, priority=URGENT)
+            while self._queue:
+                if self._queue[0][3] is horizon:
+                    self._now = until
+                    return
+                self.step()
+            return
+        while self._queue:
+            self.step()
+        if self._n_live_processes > 0:
+            raise DeadlockError(
+                f"simulation ran dry with {self._n_live_processes} live "
+                "process(es) still waiting"
+            )
+
+    def peek_time(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else math.inf

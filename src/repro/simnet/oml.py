@@ -1,0 +1,152 @@
+"""OML-style measurement collection.
+
+The paper instruments experiments with OML (Orbit Measurement Library):
+applications define *measurement points* (named, typed tuple streams) and
+inject samples; a collection server aggregates them into series that the
+experimenter queries afterwards.
+
+:class:`MeasurementLibrary` reproduces that workflow in-process.  Every
+sample is stamped with the simulator's virtual time, so post-hoc analysis
+(time series of residuals, per-peer relaxation rates, link utilization)
+works exactly like querying an OML database.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from .kernel import Simulator
+
+__all__ = ["MeasurementPoint", "MeasurementLibrary", "Sample", "SeriesStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One injected measurement: virtual timestamp + field values."""
+
+    t: float
+    values: tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics over one numeric field of a measurement point."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    total: float
+
+    @staticmethod
+    def of(xs: Sequence[float]) -> "SeriesStats":
+        if not xs:
+            return SeriesStats(0, math.nan, math.nan, math.nan, 0.0)
+        total = float(sum(xs))
+        return SeriesStats(len(xs), total / len(xs), float(min(xs)), float(max(xs)), total)
+
+
+class MeasurementPoint:
+    """A named stream of typed tuples, in the OML sense.
+
+    The schema is a sequence of field names; ``inject`` validates arity so
+    schema drift is caught at the injection site rather than at analysis
+    time.
+    """
+
+    def __init__(self, sim: Simulator, name: str, fields: Sequence[str]):
+        if not fields:
+            raise ValueError("measurement point needs at least one field")
+        if len(set(fields)) != len(fields):
+            raise ValueError(f"duplicate field names in {fields!r}")
+        self.sim = sim
+        self.name = name
+        self.fields = tuple(fields)
+        self.samples: list[Sample] = []
+
+    def inject(self, *values: Any) -> None:
+        """Record one sample at the current virtual time."""
+        if len(values) != len(self.fields):
+            raise ValueError(
+                f"measurement point {self.name!r} expects {len(self.fields)} "
+                f"fields {self.fields}, got {len(values)}"
+            )
+        self.samples.append(Sample(self.sim.now, tuple(values)))
+
+    def column(self, field: str) -> list[Any]:
+        """All values of one field, in injection order."""
+        idx = self._index(field)
+        return [s.values[idx] for s in self.samples]
+
+    def timeseries(self, field: str) -> list[tuple[float, Any]]:
+        """(time, value) pairs for one field."""
+        idx = self._index(field)
+        return [(s.t, s.values[idx]) for s in self.samples]
+
+    def where(self, **conditions: Any) -> list[Sample]:
+        """Samples whose named fields equal the given values."""
+        idxs = {self._index(k): v for k, v in conditions.items()}
+        return [
+            s for s in self.samples
+            if all(s.values[i] == v for i, v in idxs.items())
+        ]
+
+    def stats(self, field: str) -> SeriesStats:
+        """Numeric summary of one field."""
+        return SeriesStats.of([float(v) for v in self.column(field)])
+
+    def last(self, field: str) -> Any:
+        """Most recently injected value of one field."""
+        col = self.column(field)
+        if not col:
+            raise LookupError(f"no samples in measurement point {self.name!r}")
+        return col[-1]
+
+    def _index(self, field: str) -> int:
+        try:
+            return self.fields.index(field)
+        except ValueError:
+            raise KeyError(
+                f"measurement point {self.name!r} has no field {field!r}; "
+                f"known fields: {self.fields}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class MeasurementLibrary:
+    """The in-process OML server: a registry of measurement points."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._points: dict[str, MeasurementPoint] = {}
+
+    def define(self, name: str, fields: Sequence[str]) -> MeasurementPoint:
+        """Define (or fetch, if schema-compatible) a measurement point."""
+        if name in self._points:
+            existing = self._points[name]
+            if existing.fields != tuple(fields):
+                raise ValueError(
+                    f"measurement point {name!r} redefined with different "
+                    f"schema: {existing.fields} vs {tuple(fields)}"
+                )
+            return existing
+        mp = MeasurementPoint(self.sim, name, fields)
+        self._points[name] = mp
+        return mp
+
+    def __getitem__(self, name: str) -> MeasurementPoint:
+        return self._points[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._points
+
+    def points(self) -> Iterable[MeasurementPoint]:
+        return self._points.values()
+
+    def snapshot(self) -> Mapping[str, list[Sample]]:
+        """A plain-dict dump of all points, for report generation."""
+        return {name: list(mp.samples) for name, mp in self._points.items()}

@@ -1,0 +1,25 @@
+"""Distributed solvers on P2PDC: the paper's obstacle-problem application."""
+
+from .distributed_richardson import (
+    BlockReport,
+    DistributedSolveReport,
+    ObstacleApplication,
+    PROBLEM_FACTORIES,
+    get_problem,
+)
+from .halo import BlockState, relax_block_plane, sweep_block
+from .termination import Action, ExactCoordinator, StreakCoordinator
+
+__all__ = [
+    "BlockReport",
+    "DistributedSolveReport",
+    "ObstacleApplication",
+    "PROBLEM_FACTORIES",
+    "get_problem",
+    "BlockState",
+    "relax_block_plane",
+    "sweep_block",
+    "Action",
+    "ExactCoordinator",
+    "StreakCoordinator",
+]

@@ -1,0 +1,533 @@
+"""Distributed projected Richardson over P2PDC — the Figure 4 procedure.
+
+Each peer owns a contiguous range of z-planes, sweeps them sequentially,
+and exchanges boundary planes with its chain neighbours via
+``P2P_Send``/``P2P_Receive``.  The *behaviour* of those calls is decided
+by P2PSAP per Table I — the solver only branches on the session's
+current communication mode:
+
+synchronous edge
+    per-sweep rendezvous: wait for the neighbour's fresh boundary plane
+    (and for our own sends to be consumed) before the next sweep — the
+    Jacobi-across-nodes scheme, u^{p+1} = F_δ(u^p);
+asynchronous edge
+    never wait: take the freshest available plane (possibly a delayed
+    iterate u^{ρ(p)} — eq. (5)) and keep sweeping.
+
+Following Figure 4, the last plane U_l(k) is transmitted *first* (node
+k+1 needs it at the very start of its sweep) and the first plane U_f(k)
+is "delayed" (node k−1 needs it only at the very end of its own sweep).
+
+Termination uses the environment bus and the detectors in
+:mod:`repro.solvers.termination`; rank 0 hosts the coordinator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core.programming_model import Application, ProblemDefinition, TaskContext
+from ..numerics.blocks import BlockAssignment
+from ..numerics.convergence import DiffCriterion
+from ..numerics.obstacle import (
+    ObstacleProblem,
+    membrane_problem,
+    options_pricing_problem,
+    torsion_problem,
+)
+from ..p2psap.context import CommMode, Scheme
+from .halo import BlockState
+from .termination import Action, ExactCoordinator, StreakCoordinator
+
+__all__ = [
+    "ObstacleApplication",
+    "BlockReport",
+    "DistributedSolveReport",
+    "PROBLEM_FACTORIES",
+]
+
+PROBLEM_FACTORIES: dict[str, Callable[[int], ObstacleProblem]] = {
+    "membrane": membrane_problem,
+    "torsion": torsion_problem,
+    "options": options_pricing_problem,
+}
+
+# Peers in one process share read-only problem data (fields b, obstacle):
+# a memory optimization of the simulation, not of the algorithm — each
+# peer still owns and updates only its block of the iterate.
+_problem_cache: dict[tuple[str, int], ObstacleProblem] = {}
+
+
+def get_problem(kind: str, n: int) -> ObstacleProblem:
+    key = (kind, n)
+    if key not in _problem_cache:
+        try:
+            factory = PROBLEM_FACTORIES[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown problem kind {kind!r}; known: {sorted(PROBLEM_FACTORIES)}"
+            ) from None
+        _problem_cache[key] = factory(n)
+    return _problem_cache[key]
+
+
+@dataclasses.dataclass
+class BlockReport:
+    """One peer's result: its block plus counters."""
+
+    rank: int
+    lo: int
+    hi: int
+    block: np.ndarray
+    relaxations: int
+    converged_at: Optional[int]
+    wait_time: float
+    sends: int
+    receives: int
+    final_diff: float
+    #: Side-channel metadata the aggregator needs (problem kind, scheme).
+    extra: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class DistributedSolveReport:
+    """Aggregated outcome (Results_Aggregation's output)."""
+
+    u: np.ndarray
+    n: int
+    n_peers: int
+    scheme: Scheme
+    #: The paper's "number of relaxations": the convergence iteration for
+    #: synchronous schemes (constant across α), the per-peer average for
+    #: asynchronous ones (grows with α).
+    relaxations: float
+    per_peer: list[BlockReport]
+    residual: float
+
+    @property
+    def max_wait_time(self) -> float:
+        return max(r.wait_time for r in self.per_peer)
+
+    @property
+    def total_relaxations(self) -> int:
+        return sum(r.relaxations for r in self.per_peer)
+
+
+class ObstacleApplication(Application):
+    """The P2PDC application solving the 3-D obstacle problem.
+
+    app_params (with defaults):
+
+    - ``n``: grid size (planes = n, points = n³) — required;
+    - ``problem``: "membrane" | "torsion" | "options" (membrane);
+    - ``n_peers``: α (1);
+    - ``scheme``: synchronous | asynchronous | hybrid (hybrid);
+    - ``tol``: max-diff tolerance (1e-4 scaled to the problem);
+    - ``max_relaxations``: safety cap (200000);
+    - ``streak``: consecutive below-tol sweeps for local convergence in
+      asynchronous schemes (3);
+    - ``weights``: optional per-peer speed weights (load balancing);
+    - ``checkpoint_every``: sweeps between checkpoints, 0 = off (0);
+    - ``eager_first_plane``: ablation switch — send U_f(k) *before*
+      U_l(k), i.e. disable the Figure 4 delayed-send optimization.
+    """
+
+    name = "obstacle"
+
+    def problem_definition(self, params) -> ProblemDefinition:
+        n = int(params["n"])
+        n_peers = int(params.get("n_peers", 1))
+        scheme = Scheme.parse(params.get("scheme", "hybrid"))
+        weights = params.get("weights")
+        if weights is not None:
+            assignment = BlockAssignment.weighted(n, list(weights))
+            if assignment.n_nodes != n_peers:
+                raise ValueError("weights length must equal n_peers")
+        else:
+            assignment = BlockAssignment.balanced(n, n_peers)
+        subtasks = [
+            {"lo": r.start, "hi": r.stop, "n": n}
+            for r in assignment.ranges
+        ]
+        return ProblemDefinition(subtasks=subtasks, scheme=scheme, n_peers=n_peers)
+
+    def calculate(self, ctx: TaskContext):
+        solver = _BlockSolver(ctx)
+        report = yield from solver.run()
+        return report
+
+    def results_aggregation(self, results) -> DistributedSolveReport:
+        reports: list[BlockReport] = sorted(results, key=lambda r: r.rank)
+        n = reports[0].block.shape[1]
+        u = np.empty((n, n, n))
+        for rep in reports:
+            u[rep.lo:rep.hi] = rep.block
+        return assemble_report(reports, u)
+
+
+def assemble_report(reports: list[BlockReport], u: np.ndarray) -> DistributedSolveReport:
+    """Build the aggregate report (separated for testability)."""
+    n = u.shape[0]
+    meta = reports[0]
+    problem = get_problem(meta_extra(meta, "problem"), n)
+    scheme = Scheme.parse(meta_extra(meta, "scheme"))
+    if scheme is Scheme.SYNCHRONOUS:
+        converged = [r.converged_at for r in reports if r.converged_at is not None]
+        relaxations = float(max(converged)) if converged else float(
+            np.mean([r.relaxations for r in reports])
+        )
+    else:
+        relaxations = float(np.mean([r.relaxations for r in reports]))
+    return DistributedSolveReport(
+        u=u,
+        n=n,
+        n_peers=len(reports),
+        scheme=scheme,
+        relaxations=relaxations,
+        per_peer=reports,
+        residual=problem.residual_norm(u),
+    )
+
+
+def meta_extra(report: BlockReport, key: str) -> Any:
+    return report.extra[key]
+
+
+class _BlockSolver:
+    """Per-peer solve loop (the body of Calculate())."""
+
+    def __init__(self, ctx: TaskContext):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        params = ctx.params
+        self.kind = params.get("problem", "membrane")
+        self.n = int(params["n"])
+        self.tol = float(params.get("tol", 1e-4))
+        self.max_relax = int(params.get("max_relaxations", 200_000))
+        self.streak = int(params.get("streak", 3))
+        self.checkpoint_every = int(params.get("checkpoint_every", 0))
+        self.eager_first_plane = bool(params.get("eager_first_plane", False))
+        # Send conflation for asynchronous edges: a boundary plane is
+        # worth transmitting only as fast as the wire can carry it; any
+        # faster and the link queue grows without bound, making every
+        # received iterate arbitrarily stale (the asynchronous-convergence
+        # assumption lim ρ_j(p) = ∞ needs bounded staleness in practice).
+        # Newest-supersedes-oldest at the sender is the standard fix.
+        # The per-neighbour interval comes from the *actual* outgoing link
+        # bandwidth (context data), resolved once sessions exist.
+        self._send_interval_override = params.get("send_min_interval")
+        self._send_interval: dict[int, float] = {}
+        self._last_send: dict[int, float] = {}
+        self.problem = get_problem(self.kind, self.n)
+        sub = ctx.subtask
+        self.state = BlockState(
+            problem=self.problem, lo=sub["lo"], hi=sub["hi"],
+            delta=float(params.get("delta", self.problem.jacobi_delta())),
+            local_sweep=params.get("local_sweep", "gauss_seidel"),
+        )
+        warm = sub.get("warm_start")
+        if warm is not None:
+            self.state.warm_start(np.asarray(warm))
+        self.rank = ctx.rank
+        self.left = self.rank - 1 if self.rank > 0 else None
+        self.right = self.rank + 1 if self.rank + 1 < ctx.n_workers else None
+        self.scheme = ctx.scheme
+        # Counters.
+        self.sweeps = 0
+        self.wait_time = 0.0
+        self.sends = 0
+        self.receives = 0
+        self.stopped = False
+        self.stop_info: Optional[int] = None
+        self.local_diff = float("inf")
+        # Termination machinery.
+        self.exact_mode = self.scheme is Scheme.SYNCHRONOUS
+        self.criterion = DiffCriterion(self.tol, consecutive=self.streak)
+        self.locally_converged = False
+        # In-flight verification round: [epoch, async-neighbours whose
+        # fresh ghost we must still observe, diff-stayed-below-tol].
+        # Answering only after seeing *fresh* neighbour data rules out
+        # "converged on stale ghosts" false positives.
+        self._verify_pending: Optional[list] = None
+        self.coordinator = None
+        if self.rank == 0 and ctx.n_workers > 1:
+            self.coordinator = (
+                ExactCoordinator(ctx.n_workers, self.tol)
+                if self.exact_mode else StreakCoordinator(ctx.n_workers)
+            )
+        # OML instrumentation.
+        self.mp = ctx.oml.define(
+            "relaxation", ["rank", "sweep", "diff"]
+        )
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self):
+        ctx = self.ctx
+        if ctx.n_workers == 1:
+            yield from self._run_single()
+            return self._report()
+        # Establish neighbour sessions up front so the first exchange's
+        # mode is known (connection setup crosses the control channel).
+        for nb in (self.left, self.right):
+            if nb is not None:
+                yield ctx.connect(nb)
+        while not self.stopped and self.sweeps < self.max_relax:
+            self._drain_env_nowait()
+            if self.stopped:
+                break
+            self._pull_async_ghosts()
+            diff = self.state.sweep()
+            self.sweeps += 1
+            self.local_diff = diff
+            self.mp.inject(self.rank, self.sweeps, diff)
+            yield ctx.node.compute(self.state.flops())
+            if self.checkpoint_every and self.sweeps % self.checkpoint_every == 0:
+                ctx.checkpoint({
+                    "rank": self.rank, "lo": self.state.lo, "hi": self.state.hi,
+                    "block": self.state.block.copy(), "sweep": self.sweeps,
+                })
+            exchange_events, recv_events = self._send_boundaries()
+            self._report_termination(diff)
+            if self.stopped:
+                break
+            if exchange_events:
+                yield from self._wait_exchange(exchange_events)
+                if self.stopped:
+                    break
+                self._apply_sync_ghosts(recv_events)
+        return self._report()
+
+    def _run_single(self):
+        """α = 1: the sequential sweep with compute-cost accounting.
+
+        Uses the plain single-shot criterion (no streak): with no
+        neighbours there is no staleness to hedge against, and the
+        relaxation count must equal the sequential solver's exactly.
+        """
+        criterion = DiffCriterion(self.tol)
+        while self.sweeps < self.max_relax:
+            diff = self.state.sweep()
+            self.sweeps += 1
+            self.local_diff = diff
+            self.mp.inject(self.rank, self.sweeps, diff)
+            yield self.ctx.node.compute(self.state.flops())
+            if criterion.check(diff):
+                self.stop_info = self.sweeps
+                return
+        raise RuntimeError(f"no convergence in {self.max_relax} relaxations")
+
+    # -- communication ----------------------------------------------------------------
+
+    def problem_plane_bytes(self) -> int:
+        """Wire size of one boundary plane (n² float64)."""
+        return self.n * self.n * 8
+
+    def _min_interval(self, nb: int) -> float:
+        """Conflation interval towards neighbour ``nb``: ~1 plane's
+        serialization time on that link (slightly over, so the queue
+        stays empty and staleness stays bounded by one plane)."""
+        if self._send_interval_override is not None:
+            return float(self._send_interval_override)
+        cached = self._send_interval.get(nb)
+        if cached is None:
+            bw = self.ctx.link_bandwidth(nb)
+            cached = 1.1 * (self.problem_plane_bytes() * 8.0) / bw
+            self._send_interval[nb] = cached
+        return cached
+
+    def _edge_mode(self, rank: int) -> CommMode:
+        return self.ctx.session_mode(rank)
+
+    def _send_boundaries(self):
+        """Transmit boundary planes; returns (events-to-wait, recv-map).
+
+        Figure 4 order: U_l(k) to k+1 first; U_f(k) to k−1 delayed
+        (unless the eager ablation flips it).  For synchronous edges the
+        send completions and the fresh-ghost receives join the wait set;
+        asynchronous edges are fire-and-forget.
+        """
+        wait_events = []
+        recv_events: dict[str, Any] = {}
+        sends = []
+        if self.right is not None:
+            sends.append((self.right, self.state.last_plane, "above"))
+        if self.left is not None:
+            sends.append((self.left, self.state.first_plane, "below"))
+        if self.eager_first_plane:
+            sends.reverse()
+        for nb, plane, _tag in sends:
+            sync_edge = self._edge_mode(nb) is CommMode.SYNCHRONOUS
+            if not sync_edge:
+                # Conflate: skip this update if the wire is still busy
+                # with the previous one (the neighbour only wants the
+                # freshest plane anyway).
+                last = self._last_send.get(nb, -float("inf"))
+                if self.sim.now - last < self._min_interval(nb):
+                    continue
+                self._last_send[nb] = self.sim.now
+            ev = self.ctx.p2p_send(nb, ("PLANE", self.sweeps, plane.copy()))
+            self.sends += 1
+            if sync_edge:
+                wait_events.append(ev)
+        for nb, ghost_tag in ((self.left, "below"), (self.right, "above")):
+            if nb is None:
+                continue
+            if self._edge_mode(nb) is CommMode.SYNCHRONOUS:
+                rev = self.ctx.p2p_receive(nb)
+                recv_events[ghost_tag] = rev
+                wait_events.append(rev)
+        return wait_events, recv_events
+
+    def _apply_sync_ghosts(self, recv_events) -> None:
+        for tag, ev in recv_events.items():
+            payload = ev.value
+            if payload is None:
+                continue
+            kind, _iteration, plane = payload
+            assert kind == "PLANE", f"unexpected payload {kind!r}"
+            self.receives += 1
+            if tag == "below":
+                self.state.update_ghost_below(plane)
+            else:
+                self.state.update_ghost_above(plane)
+
+    def _pull_async_ghosts(self) -> None:
+        """Freshest available planes from asynchronous edges (eq. (5):
+        delayed components are allowed; newest wins)."""
+        for nb, tag in ((self.left, "below"), (self.right, "above")):
+            if nb is None:
+                continue
+            if self._edge_mode(nb) is not CommMode.ASYNCHRONOUS:
+                continue
+            ok, payload = self.ctx.p2p_receive_latest_nowait(nb)
+            if ok and payload is not None:
+                _kind, _iteration, plane = payload
+                self.receives += 1
+                if tag == "below":
+                    self.state.update_ghost_below(plane)
+                else:
+                    self.state.update_ghost_above(plane)
+                if self._verify_pending is not None:
+                    self._verify_pending[1].discard(nb)
+
+    def _wait_exchange(self, events):
+        """Wait for the synchronous exchange, interruptible by STOP."""
+        t0 = self.sim.now
+        pending = self.sim.all_of(events)
+        inbox = self.ctx.env_inbox
+        while True:
+            inbox_ev = inbox.get()
+            yield self.sim.any_of([pending, inbox_ev])
+            if inbox_ev.triggered:
+                self._handle_env(*inbox_ev.value)
+            else:
+                inbox.cancel_get(inbox_ev)
+            if self.stopped:
+                break
+            if pending.triggered:
+                break
+        self.wait_time += self.sim.now - t0
+
+    # -- termination ---------------------------------------------------------------------
+
+    def _report_termination(self, diff: float) -> None:
+        if self.ctx.n_workers == 1:
+            return
+        if self.exact_mode:
+            self._send_term(0, ("DIFF", self.sweeps, diff))
+            return
+        converged = self.criterion.check(diff)
+        if self._verify_pending is not None:
+            epoch, needed = self._verify_pending
+            if diff >= self.tol:
+                self._verify_pending = None
+                self._send_term(0, ("VERIFY_ACK", epoch, False))
+            elif not needed:
+                # Fresh data from every asynchronous neighbour arrived and
+                # the iterate still did not move: genuinely converged.
+                self._verify_pending = None
+                self._send_term(0, ("VERIFY_ACK", epoch, True))
+        if converged != self.locally_converged:
+            self.locally_converged = converged
+            self._send_term(0, ("CONV", converged))
+
+    def _send_term(self, rank: int, body: tuple) -> None:
+        if rank == self.rank:
+            self._handle_env(self.rank, body)
+        else:
+            self.ctx.env_send(rank, body)
+
+    def _drain_env_nowait(self) -> None:
+        inbox = self.ctx.env_inbox
+        while True:
+            ok, item = inbox.get_nowait()
+            if not ok:
+                return
+            self._handle_env(*item)
+            if self.stopped:
+                return
+
+    def _handle_env(self, src_rank: int, body: tuple) -> None:
+        tag = body[0]
+        if tag == "STOP":
+            self.stopped = True
+            self.stop_info = body[1]
+            return
+        if tag == "VERIFY":
+            epoch = body[1]
+            if not self.criterion.streak >= self.streak:
+                self._send_term(0, ("VERIFY_ACK", epoch, False))
+                return
+            needed = {
+                nb for nb in (self.left, self.right)
+                if nb is not None and self._edge_mode(nb) is CommMode.ASYNCHRONOUS
+            }
+            if not needed:
+                self._send_term(0, ("VERIFY_ACK", epoch, True))
+                return
+            self._verify_pending = [epoch, needed]
+            return
+        if self.coordinator is None:
+            return
+        if tag == "DIFF":
+            actions = self.coordinator.on_diff(src_rank, body[1], body[2])
+        elif tag == "CONV":
+            actions = self.coordinator.on_conv(src_rank, body[1])
+        elif tag == "VERIFY_ACK":
+            actions = self.coordinator.on_verify_ack(src_rank, body[1], body[2])
+        else:
+            raise ValueError(f"unknown termination message {tag!r}")
+        self._dispatch(actions)
+
+    def _dispatch(self, actions: list[Action]) -> None:
+        for action in actions:
+            targets = (
+                range(self.ctx.n_workers) if action.rank is None else [action.rank]
+            )
+            for rank in targets:
+                self._send_term(rank, action.body)
+
+    # -- result -------------------------------------------------------------------------
+
+    def _report(self) -> BlockReport:
+        converged_at = self.stop_info
+        if self.exact_mode and isinstance(self.stop_info, int):
+            converged_at = self.stop_info
+        report = BlockReport(
+            rank=self.rank,
+            lo=self.state.lo,
+            hi=self.state.hi,
+            block=self.state.block,
+            relaxations=self.sweeps,
+            converged_at=converged_at,
+            wait_time=self.wait_time,
+            sends=self.sends,
+            receives=self.receives,
+            final_diff=self.local_diff,
+            extra={"problem": self.kind, "scheme": self.scheme.value},
+        )
+        return report

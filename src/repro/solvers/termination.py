@@ -1,0 +1,142 @@
+"""Distributed convergence detection.
+
+The paper does not spell out its termination mechanism; we implement the
+two standard detectors its schemes require, as *pure message-driven
+state machines* (transport-agnostic, unit-testable):
+
+:class:`ExactCoordinator` (synchronous schemes)
+    every peer reports its local max-norm diff for every relaxation
+    ``p``; the coordinator declares convergence at the first ``p`` whose
+    global max is below tolerance.  Because the synchronous scheme is
+    deterministic, this reproduces the sequential Jacobi relaxation
+    count exactly — "the number of relaxations performed by synchronous
+    schemes remains constant".
+
+:class:`StreakCoordinator` (asynchronous / hybrid schemes)
+    peers report local-convergence *transitions* (diff below tolerance
+    for several consecutive sweeps ⇄ not).  A locally-converged peer may
+    still be iterating on stale neighbour data, so when every peer
+    reports converged the coordinator runs a *verification round*: it
+    polls all peers; only if every peer confirms it is still converged
+    does it broadcast STOP, otherwise the epoch advances and collection
+    resumes.  This two-phase check is what makes asynchronous
+    termination sound (cf. the asynchronous-iterations literature the
+    paper builds on).
+
+Message vocabulary (tuples, first element the tag):
+
+    ("DIFF", iteration, diff)        peer → coordinator   (exact)
+    ("CONV", converged)              peer → coordinator   (streak)
+    ("VERIFY", epoch)                coordinator → peer
+    ("VERIFY_ACK", epoch, ok)        peer → coordinator
+    ("STOP", info)                   coordinator → peer
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+__all__ = ["ExactCoordinator", "StreakCoordinator", "Action"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Action:
+    """An outbound message the caller must deliver: rank None = broadcast
+    to every peer (including the coordinator's own participant side)."""
+
+    rank: Optional[int]
+    body: tuple
+
+
+class ExactCoordinator:
+    """Global max-diff aggregation per iteration (synchronous schemes)."""
+
+    def __init__(self, n_peers: int, tol: float):
+        if n_peers < 1:
+            raise ValueError("n_peers must be >= 1")
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        self.n_peers = n_peers
+        self.tol = tol
+        self._diffs: dict[int, dict[int, float]] = {}
+        self.stop_iteration: Optional[int] = None
+
+    def on_diff(self, rank: int, iteration: int, diff: float) -> list[Action]:
+        """Feed one report; returns the STOP broadcast when decided."""
+        if self.stop_iteration is not None:
+            return []
+        if not math.isfinite(diff):
+            raise ValueError(f"non-finite diff from rank {rank}")
+        per_iter = self._diffs.setdefault(iteration, {})
+        per_iter[rank] = diff
+        if len(per_iter) == self.n_peers and max(per_iter.values()) < self.tol:
+            self.stop_iteration = iteration
+            # Old bookkeeping is garbage now.
+            self._diffs.clear()
+            return [Action(None, ("STOP", iteration))]
+        # Bound memory: iterations older than a decided one can be dropped
+        # once complete and above tolerance.
+        if len(per_iter) == self.n_peers:
+            del self._diffs[iteration]
+        return []
+
+
+class StreakCoordinator:
+    """Two-phase (collect → verify) detector for asynchronous schemes."""
+
+    def __init__(self, n_peers: int):
+        if n_peers < 1:
+            raise ValueError("n_peers must be >= 1")
+        self.n_peers = n_peers
+        self._converged: set[int] = set()
+        self.epoch = 0
+        self.phase = "collect"  # or "verify"
+        self._acks: dict[int, bool] = {}
+        self.stopped = False
+        self.stats_failed_verifications = 0
+
+    def on_conv(self, rank: int, converged: bool) -> list[Action]:
+        if self.stopped:
+            return []
+        if converged:
+            self._converged.add(rank)
+        else:
+            self._converged.discard(rank)
+            if self.phase == "verify":
+                # Someone regressed mid-verification: abort the round.
+                return self._fail_verification()
+        if self.phase == "collect" and len(self._converged) == self.n_peers:
+            self.phase = "verify"
+            self._acks = {}
+            return [Action(None, ("VERIFY", self.epoch))]
+        return []
+
+    def on_verify_ack(self, rank: int, epoch: int, ok: bool) -> list[Action]:
+        if self.stopped or self.phase != "verify" or epoch != self.epoch:
+            return []
+        self._acks[rank] = ok
+        if not ok:
+            # A refusing peer is by definition not converged any more;
+            # removing it here (not waiting for its CONV(False)) is what
+            # guarantees the immediate re-verify below cannot spin.
+            self._converged.discard(rank)
+            return self._fail_verification()
+        if len(self._acks) == self.n_peers and all(self._acks.values()):
+            self.stopped = True
+            return [Action(None, ("STOP", self.epoch))]
+        return []
+
+    def _fail_verification(self) -> list[Action]:
+        self.stats_failed_verifications += 1
+        self.epoch += 1
+        self.phase = "collect"
+        self._acks = {}
+        # A peer whose streak broke will follow up with CONV(False); if
+        # meanwhile everyone still claims convergence, verify again right
+        # away (progress guarantee — no transition may ever arrive).
+        if len(self._converged) == self.n_peers:
+            self.phase = "verify"
+            return [Action(None, ("VERIFY", self.epoch))]
+        return []

@@ -1,0 +1,258 @@
+"""End-to-end data-channel tests over the simulated network."""
+
+import numpy as np
+import pytest
+
+from repro.p2psap.context import ChannelConfig, CommMode
+from repro.p2psap.data_channel import DataChannel
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Netem, Network
+
+SYNC = ChannelConfig(mode=CommMode.SYNCHRONOUS, reliable=True, ordered=True)
+ASYNC_RELIABLE = ChannelConfig(
+    mode=CommMode.ASYNCHRONOUS, reliable=True, ordered=True
+)
+ASYNC_UNRELIABLE = ChannelConfig(
+    mode=CommMode.ASYNCHRONOUS, reliable=False, ordered=False, congestion="none"
+)
+
+
+def make_pair(config, delay=0.001, loss=0.0, bandwidth=100e6):
+    sim = Simulator()
+    net = Network(sim, intra_netem=Netem(delay=delay, loss=loss),
+                  intra_bandwidth_bps=bandwidth)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    cha = DataChannel(sim, net, a, "b", 9, config)
+    chb = DataChannel(sim, net, b, "a", 9, config)
+    return sim, cha, chb
+
+
+class TestSyncChannel:
+    def test_rendezvous_send_blocks_until_consumed(self):
+        sim, cha, chb = make_pair(SYNC)
+        times = {}
+
+        def sender():
+            yield cha.user_send("x")
+            times["send_done"] = sim.now
+
+        def receiver():
+            yield sim.timeout(1.0)  # consume late
+            msg = yield chb.user_receive()
+            times["received"] = sim.now
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=10)
+        # Send completes only after consumption (+ APPACK latency).
+        assert times["send_done"] >= times["received"]
+
+    def test_messages_delivered_in_order(self):
+        sim, cha, chb = make_pair(SYNC)
+        got = []
+
+        def sender():
+            for i in range(10):
+                yield cha.user_send(i)
+
+        def receiver():
+            for _ in range(10):
+                msg = yield chb.user_receive()
+                got.append(msg.payload)
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=30)
+        assert got == list(range(10))
+
+    def test_reliable_under_loss(self):
+        sim, cha, chb = make_pair(SYNC, loss=0.3)
+        got = []
+
+        def sender():
+            for i in range(5):
+                yield cha.user_send(i)
+
+        def receiver():
+            for _ in range(5):
+                msg = yield chb.user_receive()
+                got.append(msg.payload)
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=120)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_numpy_payload_zero_copy_reference(self):
+        sim, cha, chb = make_pair(SYNC)
+        plane = np.arange(16.0).reshape(4, 4)
+        received = []
+
+        def sender():
+            yield cha.user_send(plane)
+
+        def receiver():
+            msg = yield chb.user_receive()
+            received.append(msg.payload)
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=10)
+        # Zero-copy through the whole simulated stack: same object.
+        assert received[0] is plane
+
+
+class TestAsyncChannel:
+    def test_send_returns_immediately(self):
+        sim, cha, chb = make_pair(ASYNC_UNRELIABLE, delay=0.5)
+
+        def sender():
+            yield cha.user_send("x")
+            return sim.now
+
+        p = sim.spawn(sender())
+        sim.run(until=2)
+        assert p.value == 0.0  # no waiting for the 0.5 s link
+
+    def test_unreliable_drops_are_tolerated(self):
+        sim, cha, chb = make_pair(ASYNC_UNRELIABLE, loss=0.5)
+
+        def sender():
+            for i in range(200):
+                yield cha.user_send(i)
+
+        sim.spawn(sender())
+        sim.run(until=30)
+        got = 0
+        while chb.user_receive_nowait()[0]:
+            got += 1
+        assert 40 < got < 160  # ~50% loss, no retransmission
+
+    def test_receive_latest_nowait_supersedes(self):
+        sim, cha, chb = make_pair(ASYNC_UNRELIABLE)
+
+        def sender():
+            for i in range(5):
+                yield cha.user_send(i)
+
+        sim.spawn(sender())
+        sim.run(until=5)
+        ok, payload = chb.user_receive_latest_nowait()
+        assert ok and payload == 4
+        assert chb.user_receive_nowait() == (False, None)
+
+
+class TestReconfiguration:
+    def test_epoch_scopes_sequence_space(self):
+        sim, cha, chb = make_pair(ASYNC_UNRELIABLE, delay=0.2)
+
+        def scenario():
+            for i in range(5):
+                yield cha.user_send(i)  # in flight during reconfig
+            cha.reconfigure(SYNC)
+            chb.reconfigure(SYNC)
+            yield cha.user_send("fresh")
+
+        sim.spawn(scenario())
+        sim.run(until=60)
+        ok, payload = chb.user_receive_nowait()
+        assert ok and payload == "fresh"
+        assert chb.stats_stale_epoch == 5  # old-regime segments dropped
+
+    def test_queued_messages_survive_reconfiguration(self):
+        sim, cha, chb = make_pair(SYNC)
+        chb_buffer = []
+
+        def scenario():
+            cha.transport.shared["cwnd"] = 0.0  # block the window
+            done = cha.user_send("queued")
+            cha.reconfigure(ASYNC_UNRELIABLE)  # unwindowed now
+            yield sim.timeout(1.0)
+
+        sim.spawn(scenario())
+        sim.run(until=10)
+        ok, payload = chb.user_receive_nowait()
+        # chb still in SYNC epoch 0 vs cha epoch 1: reconfigure both sides
+        # is the contract; here we only assert cha flushed its queue.
+        assert cha.buffers.pending_tx() == 0
+
+    def test_physical_layer_substitution(self):
+        sim, cha, chb = make_pair(SYNC)
+        infiniband = ChannelConfig(
+            mode=CommMode.SYNCHRONOUS, reliable=True, ordered=True,
+            physical="infiniband",
+        )
+
+        def scenario():
+            yield cha.user_send("over-ethernet")
+            cha.reconfigure(infiniband)
+            chb.reconfigure(infiniband)
+            yield cha.user_send("over-infiniband")
+
+        got = []
+
+        def receiver():
+            for _ in range(2):
+                msg = yield chb.user_receive()
+                got.append(msg.payload)
+
+        sim.spawn(scenario())
+        sim.spawn(receiver())
+        sim.run(until=60)
+        assert got == ["over-ethernet", "over-infiniband"]
+        assert cha.physical.spec.name == "infiniband"
+
+    def test_noop_reconfigure_is_free(self):
+        sim, cha, chb = make_pair(SYNC)
+        cha.reconfigure(SYNC)
+        assert cha.stats_reconfigurations == 0
+        assert cha.epoch == 0
+
+    def test_closed_channel_rejects_everything(self):
+        sim, cha, chb = make_pair(SYNC)
+        cha.close()
+        with pytest.raises(RuntimeError):
+            cha.user_send("x")
+        with pytest.raises(RuntimeError):
+            cha.user_receive()
+        with pytest.raises(RuntimeError):
+            cha.reconfigure(ASYNC_UNRELIABLE)
+        cha.close()  # idempotent
+
+
+class TestCongestionIntegration:
+    def test_window_grows_over_clean_transfer(self):
+        sim, cha, chb = make_pair(SYNC, delay=0.01)
+
+        def sender():
+            for i in range(40):
+                yield cha.user_send(i)
+
+        def receiver():
+            for _ in range(40):
+                yield chb.user_receive()
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=120)
+        cc = cha.transport.micro("cc-newreno")
+        assert cc.cwnd > cc.INITIAL_WINDOW
+        assert cc.stats_acks >= 40
+
+    def test_loss_shrinks_window_via_timeouts(self):
+        sim, cha, chb = make_pair(SYNC, loss=0.4, delay=0.01)
+
+        def sender():
+            for i in range(20):
+                yield cha.user_send(i)
+
+        def receiver():
+            for _ in range(20):
+                yield chb.user_receive()
+
+        sim.spawn(sender())
+        sim.spawn(receiver())
+        sim.run(until=600)
+        cc = cha.transport.micro("cc-newreno")
+        assert cc.stats_timeouts > 0

@@ -1,0 +1,135 @@
+"""Physical-layer composite protocols: framing, pumps, fabric swapping."""
+
+import math
+
+import pytest
+
+from repro.cactus.composite import CompositeProtocol, ProtocolStack
+from repro.cactus.messages import Message
+from repro.p2psap.physical import (
+    ETHERNET,
+    INFINIBAND,
+    MYRINET,
+    PhysicalSpec,
+    make_physical,
+)
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Netem, Network
+
+
+def make_link(spec_name="ethernet", delay=0.001):
+    sim = Simulator()
+    net = Network(sim, intra_netem=Netem(delay=delay))
+    a, b = net.add_node("a"), net.add_node("b")
+    phy_a = make_physical(spec_name, sim, net, a, "b", 7)
+    phy_b = make_physical(spec_name, sim, net, b, "a", 7)
+    # Minimal transport layer above each physical to observe deliveries.
+    top_a = CompositeProtocol(sim, "top-a")
+    top_b = CompositeProtocol(sim, "top-b")
+    ProtocolStack([top_a, phy_a])
+    ProtocolStack([top_b, phy_b])
+    return sim, net, (top_a, phy_a), (top_b, phy_b)
+
+
+class TestSpecs:
+    def test_known_fabrics(self):
+        assert ETHERNET.name == "ethernet"
+        assert INFINIBAND.bandwidth_bps == pytest.approx(8e9)
+        assert MYRINET.header_bytes == 8
+
+    def test_unknown_fabric(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(ValueError):
+            make_physical("token-ring", sim, net, net.nodes["a"], "b", 1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalSpec(name="bad", header_bytes=-1)
+        with pytest.raises(ValueError):
+            PhysicalSpec(name="bad", per_message_cost=-1)
+
+
+class TestFraming:
+    def test_message_crosses_wire_with_headers(self):
+        sim, net, (top_a, phy_a), (top_b, phy_b) = make_link()
+        got = []
+        top_b.bus.bind("FromBelow", lambda m: got.append(m))
+        msg = Message(b"payload-bytes")
+        msg.push_header("transport", seq=3)
+        top_a.send_down(msg)
+        sim.run(until=1.0)
+        assert len(got) == 1
+        received = got[0]
+        assert received.payload == b"payload-bytes"
+        assert received.pop_header("transport") == {"seq": 3}
+
+    def test_header_snapshot_isolated_between_endpoints(self):
+        """Receiver-side header mutation must not alias the sender's."""
+        sim, net, (top_a, _), (top_b, _) = make_link()
+        got = []
+        top_b.bus.bind("FromBelow", lambda m: got.append(m))
+        msg = Message(None)
+        msg.push_header("transport", seq=1)
+        top_a.send_down(msg)
+        sim.run(until=1.0)
+        got[0].pop_header("transport")
+        assert msg.peek_header("transport") == {"seq": 1}  # untouched
+
+    def test_frame_overhead_counted_on_wire(self):
+        sim, net, (top_a, phy_a), _ = make_link()
+        link = net.link("a", "b")
+        msg = Message(bytes(100))
+        top_a.send_down(msg)
+        sim.run(until=1.0)
+        assert link.stats_bytes == 100 + ETHERNET.header_bytes
+
+    def test_per_message_host_cost_delays_delivery(self):
+        sim, net, (top_a, _), (top_b, _) = make_link(delay=0.0)
+        times = []
+        top_b.bus.bind("FromBelow", lambda m: times.append(sim.now))
+        top_a.send_down(Message(b""))
+        sim.run(until=1.0)
+        # Ethernet spec charges 10 us of host processing on receive.
+        assert times[0] >= ETHERNET.per_message_cost
+
+    def test_closed_physical_drops_traffic(self):
+        sim, net, (top_a, phy_a), (top_b, phy_b) = make_link()
+        got = []
+        top_b.bus.bind("FromBelow", lambda m: got.append(m))
+        phy_b.close()
+        top_a.send_down(Message(b"x"))
+        sim.run(until=1.0)
+        assert got == []
+        phy_b.close()  # idempotent
+
+    def test_stats(self):
+        sim, net, (top_a, phy_a), (top_b, phy_b) = make_link()
+        top_b.bus.bind("FromBelow", lambda m: None)
+        for _ in range(3):
+            top_a.send_down(Message(b"z"))
+        sim.run(until=1.0)
+        assert phy_a.stats_tx_frames == 3
+        assert phy_b.stats_rx_frames == 3
+
+
+class TestFabricDifferences:
+    def test_infiniband_overrides_link_bandwidth(self):
+        sim = Simulator()
+        net = Network(sim, intra_bandwidth_bps=100e6)
+        a, b = net.add_node("a"), net.add_node("b")
+        make_physical("infiniband", sim, net, a, "b", 1)
+        assert net.link("a", "b").bandwidth_bps == pytest.approx(8e9)
+
+    def test_faster_fabric_delivers_sooner(self):
+        def first_delivery(fabric):
+            sim, net, (top_a, _), (top_b, _) = make_link(fabric, delay=0.0)
+            times = []
+            top_b.bus.bind("FromBelow", lambda m: times.append(sim.now))
+            top_a.send_down(Message(bytes(125_000)))  # 1 Mbit payload
+            sim.run(until=5.0)
+            return times[0]
+
+        assert first_delivery("myrinet") < first_delivery("ethernet")

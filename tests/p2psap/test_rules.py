@@ -1,0 +1,128 @@
+"""Table I and the ECA rule engine — every cell, plus engine mechanics."""
+
+import pytest
+
+from repro.p2psap.context import (
+    ChannelConfig,
+    CommMode,
+    ConnectionKind,
+    ContextSnapshot,
+    Scheme,
+)
+from repro.p2psap.rules import TABLE_I, Rule, RuleEngine, default_rules
+
+
+def ctx(scheme, conn, **kw):
+    return ContextSnapshot(scheme=scheme, connection=conn, **kw)
+
+
+class TestTableI:
+    """The six cells of Table I, verbatim from the paper."""
+
+    @pytest.mark.parametrize(
+        "scheme,conn,mode,reliable",
+        [
+            (Scheme.SYNCHRONOUS, ConnectionKind.INTRA_CLUSTER, CommMode.SYNCHRONOUS, True),
+            (Scheme.SYNCHRONOUS, ConnectionKind.INTER_CLUSTER, CommMode.SYNCHRONOUS, True),
+            (Scheme.ASYNCHRONOUS, ConnectionKind.INTRA_CLUSTER, CommMode.ASYNCHRONOUS, True),
+            (Scheme.ASYNCHRONOUS, ConnectionKind.INTER_CLUSTER, CommMode.ASYNCHRONOUS, False),
+            (Scheme.HYBRID, ConnectionKind.INTRA_CLUSTER, CommMode.SYNCHRONOUS, True),
+            (Scheme.HYBRID, ConnectionKind.INTER_CLUSTER, CommMode.ASYNCHRONOUS, False),
+        ],
+    )
+    def test_cell(self, scheme, conn, mode, reliable):
+        config = RuleEngine().decide(ctx(scheme, conn))
+        assert config.mode is mode
+        assert config.reliable is reliable
+
+    def test_htcp_on_synchronous_wan(self):
+        """Section II.D: H-TCP for the high speed-latency network."""
+        config = RuleEngine().decide(
+            ctx(Scheme.SYNCHRONOUS, ConnectionKind.INTER_CLUSTER)
+        )
+        assert config.congestion == "htcp"
+
+    def test_newreno_on_lan(self):
+        config = RuleEngine().decide(
+            ctx(Scheme.SYNCHRONOUS, ConnectionKind.INTRA_CLUSTER)
+        )
+        assert config.congestion == "newreno"
+
+    def test_unreliable_cells_have_no_congestion_control(self):
+        for scheme in (Scheme.ASYNCHRONOUS, Scheme.HYBRID):
+            config = RuleEngine().decide(ctx(scheme, ConnectionKind.INTER_CLUSTER))
+            assert config.congestion == "none"
+
+    def test_reliable_cells_are_ordered(self):
+        """Paper: 'some reliability and order micro-protocols'."""
+        for (scheme, conn), config in TABLE_I.items():
+            assert config.ordered == config.reliable
+
+    def test_table_is_total(self):
+        engine = RuleEngine()
+        for scheme in Scheme:
+            for conn in ConnectionKind:
+                engine.decide(ctx(scheme, conn))  # must not raise
+
+
+class TestRuleEngine:
+    def test_first_match_by_priority(self):
+        special = ChannelConfig(
+            mode=CommMode.ASYNCHRONOUS, reliable=False, ordered=False,
+            congestion="none",
+        )
+        engine = RuleEngine()
+        engine.add_rule(Rule(
+            name="override-lossy",
+            condition=lambda c: c.loss_estimate > 0.05,
+            config=special,
+            priority=1,  # before all Table I rules
+        ))
+        got = engine.decide(ctx(
+            Scheme.SYNCHRONOUS, ConnectionKind.INTRA_CLUSTER, loss_estimate=0.2,
+        ))
+        assert got is special
+
+    def test_decision_trace_records_rule_names(self):
+        engine = RuleEngine()
+        engine.decide(ctx(Scheme.HYBRID, ConnectionKind.INTER_CLUSTER))
+        assert engine.decisions[-1][1] == "table1:hybrid/inter-cluster"
+
+    def test_no_match_raises(self):
+        engine = RuleEngine(rules=[])
+        with pytest.raises(LookupError):
+            engine.decide(ctx(Scheme.HYBRID, ConnectionKind.INTRA_CLUSTER))
+
+    def test_rules_listing_sorted_by_priority(self):
+        engine = RuleEngine()
+        priorities = [r.priority for r in engine.rules()]
+        assert priorities == sorted(priorities)
+
+
+class TestContextValidation:
+    def test_scheme_parse(self):
+        assert Scheme.parse("SYNCHRONOUS") is Scheme.SYNCHRONOUS
+        assert Scheme.parse(Scheme.HYBRID) is Scheme.HYBRID
+        with pytest.raises(ValueError):
+            Scheme.parse("bogus")
+
+    def test_channel_config_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(mode=CommMode.SYNCHRONOUS, reliable=True, ordered=True,
+                          congestion="bogus")
+        with pytest.raises(ValueError):
+            ChannelConfig(mode=CommMode.SYNCHRONOUS, reliable=True, ordered=True,
+                          physical="carrier-pigeon")
+
+    def test_describe(self):
+        c = ChannelConfig(mode=CommMode.ASYNCHRONOUS, reliable=False,
+                          ordered=False, congestion="none")
+        assert c.describe() == "async/unreliable/none"
+
+    def test_snapshot_validation(self):
+        with pytest.raises(ValueError):
+            ContextSnapshot(Scheme.HYBRID, ConnectionKind.INTRA_CLUSTER,
+                            latency_estimate=-1)
+        with pytest.raises(ValueError):
+            ContextSnapshot(Scheme.HYBRID, ConnectionKind.INTRA_CLUSTER,
+                            loss_estimate=2.0)

@@ -1,0 +1,284 @@
+"""Socket API + control channel: sessions, options, live adaptation."""
+
+import pytest
+
+from repro.p2psap import (
+    CommMode,
+    P2PSAP,
+    Scheme,
+    SessionState,
+    SocketError,
+)
+from repro.simnet import Simulator, nicta_testbed
+
+
+@pytest.fixture
+def deployment():
+    sim = Simulator()
+    net = nicta_testbed(sim, 4, n_clusters=2)  # 00,01 | 02,03
+    protos = {n: P2PSAP(sim, net, n) for n in net.nodes}
+    return sim, net, protos
+
+
+def run_scenario(sim, gen, until=30.0):
+    p = sim.spawn(gen)
+    sim.run(until=until)
+    assert not p.is_alive, "scenario did not finish"
+    return p.value
+
+
+class TestSessionLifecycle:
+    def test_connect_accept_roundtrip(self, deployment):
+        sim, net, protos = deployment
+        received = []
+
+        def server_proc():
+            listener = protos["peer01"].socket()
+            server = yield listener.accept()
+            msg = yield server.recv()
+            received.append((msg, server.remote))
+
+        def scenario():
+            client = protos["peer00"].socket(scheme="synchronous")
+            yield client.connect("peer01")
+            # Synchronous send: completes only once the server consumed it,
+            # so the server must run concurrently.
+            yield client.send("ping")
+            return client.getsockopt("state")
+
+        sim.spawn(server_proc())
+        state = run_scenario(sim, scenario())
+        (msg, remote), = received
+        assert msg == "ping"
+        assert state is SessionState.ESTABLISHED
+        assert remote == "peer00"
+
+    def test_connect_unknown_peer_rejected(self, deployment):
+        sim, net, protos = deployment
+        sock = protos["peer00"].socket()
+        with pytest.raises(SocketError):
+            sock.connect("nonexistent")
+
+    def test_connect_to_self_rejected(self, deployment):
+        sim, net, protos = deployment
+        sock = protos["peer00"].socket()
+        with pytest.raises(SocketError):
+            sock.connect("peer00")
+
+    def test_double_connect_rejected(self, deployment):
+        sim, net, protos = deployment
+
+        def scenario():
+            sock = protos["peer00"].socket()
+            yield sock.connect("peer01")
+            with pytest.raises(SocketError):
+                sock.connect("peer02")
+            return True
+
+        assert run_scenario(sim, scenario())
+
+    def test_close_propagates_to_peer(self, deployment):
+        sim, net, protos = deployment
+
+        def scenario():
+            client = protos["peer00"].socket()
+            listener = protos["peer01"].socket()
+            accept_ev = listener.accept()
+            yield client.connect("peer01")
+            server = yield accept_ev
+            client.close()
+            yield sim.timeout(2.0)
+            return (client.getsockopt("state"), server.getsockopt("state"))
+
+        c_state, s_state = run_scenario(sim, scenario())
+        assert c_state is SessionState.CLOSED
+        assert s_state is SessionState.CLOSED
+
+    def test_send_before_connect_rejected(self, deployment):
+        _, _, protos = deployment
+        with pytest.raises(SocketError):
+            protos["peer00"].socket().send("x")
+
+
+class TestAdaptationAtOpen:
+    @pytest.mark.parametrize(
+        "scheme,remote,mode,reliable,cc",
+        [
+            ("synchronous", "peer01", CommMode.SYNCHRONOUS, True, "newreno"),
+            ("synchronous", "peer02", CommMode.SYNCHRONOUS, True, "htcp"),
+            ("asynchronous", "peer01", CommMode.ASYNCHRONOUS, True, "newreno"),
+            ("asynchronous", "peer02", CommMode.ASYNCHRONOUS, False, "none"),
+            ("hybrid", "peer01", CommMode.SYNCHRONOUS, True, "newreno"),
+            ("hybrid", "peer02", CommMode.ASYNCHRONOUS, False, "none"),
+        ],
+    )
+    def test_table1_cell_applied_to_live_session(
+        self, deployment, scheme, remote, mode, reliable, cc
+    ):
+        sim, net, protos = deployment
+
+        def scenario():
+            sock = protos["peer00"].socket(scheme=scheme)
+            yield sock.connect(remote)
+            return sock.getsockopt("config")
+
+        config = run_scenario(sim, scenario())
+        assert config.mode is mode
+        assert config.reliable is reliable
+        assert config.congestion == cc
+
+    def test_responder_mirrors_initiator_config(self, deployment):
+        sim, net, protos = deployment
+
+        def scenario():
+            listener = protos["peer02"].socket()
+            accept_ev = listener.accept()
+            sock = protos["peer00"].socket(scheme="asynchronous")
+            yield sock.connect("peer02")
+            server = yield accept_ev
+            return (sock.getsockopt("config"), server.getsockopt("config"))
+
+        c1, c2 = run_scenario(sim, scenario())
+        assert c1 == c2
+
+
+class TestDynamicAdaptation:
+    def test_scheme_change_reconfigures_both_ends(self, deployment):
+        sim, net, protos = deployment
+
+        def scenario():
+            listener = protos["peer02"].socket()
+            accept_ev = listener.accept()
+            sock = protos["peer00"].socket(scheme="synchronous")
+            yield sock.connect("peer02")
+            server = yield accept_ev
+            assert sock.getsockopt("config").mode is CommMode.SYNCHRONOUS
+            sock.setsockopt("scheme", "asynchronous")
+            yield sim.timeout(5.0)
+            return (sock.getsockopt("config"), server.getsockopt("config"))
+
+        c1, c2 = run_scenario(sim, scenario())
+        assert c1.mode is CommMode.ASYNCHRONOUS
+        assert not c1.reliable
+        assert c1 == c2
+
+    def test_messages_flow_across_reconfiguration(self, deployment):
+        sim, net, protos = deployment
+        results = []
+
+        def server_proc():
+            listener = protos["peer01"].socket()
+            server = yield listener.accept()
+            m1 = yield server.recv()
+            results.append(m1)
+            yield sim.timeout(8.0)
+            ok, m2 = server.recv_nowait()
+            results.append((ok, m2))
+
+        def scenario():
+            sock = protos["peer00"].socket(scheme="synchronous")
+            yield sock.connect("peer01")
+            yield sock.send("before")  # rendezvous with the server's recv
+            sock.setsockopt("scheme", "asynchronous")
+            yield sim.timeout(3.0)
+            yield sock.send("after")
+            return True
+
+        sim.spawn(server_proc())
+        run_scenario(sim, scenario())
+        sim.run(until=30)
+        m1, (ok, m2) = results
+        assert m1 == "before"
+        assert ok and m2 == "after"
+
+    def test_topology_change_triggers_reconfiguration(self, deployment):
+        """Moving a peer across clusters re-evaluates Table I."""
+        sim, net, protos = deployment
+
+        def scenario():
+            sock = protos["peer00"].socket(scheme="hybrid")
+            yield sock.connect("peer01")  # intra: hybrid -> sync/reliable
+            assert sock.getsockopt("config").mode is CommMode.SYNCHRONOUS
+            # peer01 migrates to the other cluster.
+            net.nodes["peer01"].cluster = "cluster1"
+            protos["peer00"].monitor.notify_topology_change()
+            yield sim.timeout(5.0)
+            return sock.getsockopt("config")
+
+        config = run_scenario(sim, scenario())
+        assert config.mode is CommMode.ASYNCHRONOUS  # hybrid/inter cell
+        assert not config.reliable
+
+    def test_unchanged_context_means_no_reconfiguration(self, deployment):
+        sim, net, protos = deployment
+
+        def scenario():
+            sock = protos["peer00"].socket(scheme="synchronous")
+            yield sock.connect("peer01")
+            channel = sock.session.channel
+            protos["peer00"].monitor.notify_topology_change()
+            yield sim.timeout(3.0)
+            return channel.stats_reconfigurations
+
+        assert run_scenario(sim, scenario()) == 0
+
+
+class TestSocketOptions:
+    def test_unknown_option(self, deployment):
+        _, _, protos = deployment
+        sock = protos["peer00"].socket()
+        with pytest.raises(SocketError):
+            sock.setsockopt("bogus", 1)
+        with pytest.raises(SocketError):
+            sock.getsockopt("bogus")
+
+    def test_scheme_option_roundtrip(self, deployment):
+        _, _, protos = deployment
+        sock = protos["peer00"].socket()
+        sock.setsockopt("scheme", "asynchronous")
+        assert sock.getsockopt("scheme") is Scheme.ASYNCHRONOUS
+
+    def test_state_of_unconnected_socket(self, deployment):
+        _, _, protos = deployment
+        sock = protos["peer00"].socket()
+        assert sock.getsockopt("state") is SessionState.CLOSED
+        assert sock.getsockopt("config") is None
+
+    def test_rx_capacity_validation(self, deployment):
+        _, _, protos = deployment
+        sock = protos["peer00"].socket()
+        with pytest.raises(ValueError):
+            sock.setsockopt("rx_capacity", 0)
+
+
+class TestControlLink:
+    def test_control_survives_loss(self):
+        from repro.p2psap.control_channel import ReliableControlLink
+        from repro.simnet.network import Netem, Network
+
+        sim = Simulator()
+        net = Network(sim, intra_netem=Netem(delay=0.01, loss=0.5))
+        a, b = net.add_node("a"), net.add_node("b")
+        got = []
+        la = ReliableControlLink(sim, net, a, lambda s, m: None)
+        lb = ReliableControlLink(sim, net, b, lambda s, m: got.append(m))
+        for i in range(10):
+            la.send("b", {"i": i})
+        sim.run(until=120)
+        assert sorted(m["i"] for m in got) == list(range(10))
+        assert la.stats_retries > 0
+
+    def test_control_dedups(self):
+        from repro.p2psap.control_channel import ReliableControlLink
+        from repro.simnet.network import Netem, Network
+
+        sim = Simulator()
+        # Duplicating network: every packet delivered twice.
+        net = Network(sim, intra_netem=Netem(delay=0.01, duplicate=1.0))
+        a, b = net.add_node("a"), net.add_node("b")
+        got = []
+        la = ReliableControlLink(sim, net, a, lambda s, m: None)
+        lb = ReliableControlLink(sim, net, b, lambda s, m: got.append(m))
+        la.send("b", {"x": 1})
+        sim.run(until=30)
+        assert got == [{"x": 1}]

@@ -1,0 +1,199 @@
+"""Tests for testbed builders, OML measurement and OEDL descriptions."""
+
+import math
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.oedl import ExperimentDescription
+from repro.simnet.oml import MeasurementLibrary, MeasurementPoint, SeriesStats
+from repro.simnet.topology import (
+    NICTA_SPEC,
+    TestbedSpec,
+    heterogeneous_testbed,
+    nicta_testbed,
+    split_clusters,
+)
+
+
+class TestSplitClusters:
+    def test_single_cluster(self):
+        assert split_clusters(4, 1) == [0, 0, 0, 0]
+
+    def test_even_split(self):
+        assert split_clusters(4, 2) == [0, 0, 1, 1]
+
+    def test_uneven_split_front_loads(self):
+        assert split_clusters(5, 2) == [0, 0, 0, 1, 1]
+
+    def test_contiguity(self):
+        for n in range(1, 30):
+            for c in range(1, n + 1):
+                a = split_clusters(n, c)
+                # contiguous: non-decreasing
+                assert a == sorted(a)
+                assert len(set(a)) == c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_clusters(2, 3)
+        with pytest.raises(ValueError):
+            split_clusters(2, 0)
+
+
+class TestNictaTestbed:
+    def test_paper_spec_defaults(self):
+        assert NICTA_SPEC.n_machines == 38
+        assert NICTA_SPEC.cpu_hz == 1e9
+        assert NICTA_SPEC.ethernet_bps == 100e6
+        assert NICTA_SPEC.wan_delay == pytest.approx(0.1)
+
+    def test_builds_requested_peers(self):
+        sim = Simulator()
+        net = nicta_testbed(sim, 24, n_clusters=2)
+        assert len(net.nodes) == 24
+        groups = net.clusters()
+        assert len(groups) == 2
+        assert [len(v) for v in groups.values()] == [12, 12]
+
+    def test_cannot_exceed_38_machines(self):
+        with pytest.raises(ValueError):
+            nicta_testbed(Simulator(), 39)
+
+    def test_wan_latency_on_inter_cluster_path(self):
+        sim = Simulator()
+        net = nicta_testbed(sim, 4, n_clusters=2)
+        names = list(net.nodes)
+        assert net.link(names[0], names[1]).netem.delay == pytest.approx(0.0001)
+        assert net.link(names[1], names[2]).netem.delay == pytest.approx(0.1)
+
+    def test_cluster_count_validation(self):
+        with pytest.raises(ValueError):
+            nicta_testbed(Simulator(), 4, n_clusters=0)
+        with pytest.raises(ValueError):
+            nicta_testbed(Simulator(), 4, n_clusters=5)
+
+
+class TestHeterogeneousTestbed:
+    def test_speeds_applied(self):
+        sim = Simulator()
+        net = heterogeneous_testbed(sim, [1e9, 2e9, 0.5e9])
+        speeds = [n.cpu_hz for n in net.nodes.values()]
+        assert speeds == [1e9, 2e9, 0.5e9]
+
+    def test_background_loads(self):
+        sim = Simulator()
+        net = heterogeneous_testbed(sim, [1e9, 1e9], background_loads=[0.0, 1.5])
+        loads = [n.background_load for n in net.nodes.values()]
+        assert loads == [0.0, 1.5]
+
+    def test_load_length_mismatch(self):
+        with pytest.raises(ValueError):
+            heterogeneous_testbed(Simulator(), [1e9], background_loads=[0.1, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_testbed(Simulator(), [])
+
+
+class TestMeasurement:
+    def test_inject_and_query(self):
+        sim = Simulator()
+        oml = MeasurementLibrary(sim)
+        mp = oml.define("residual", ["peer", "value"])
+
+        def proc():
+            for i in range(3):
+                yield sim.timeout(1.0)
+                mp.inject("peer0", 10.0 / (i + 1))
+
+        sim.spawn(proc())
+        sim.run()
+        assert mp.column("value") == [10.0, 5.0, 10.0 / 3]
+        assert mp.timeseries("peer")[0] == (1.0, "peer0")
+        assert mp.last("value") == pytest.approx(10.0 / 3)
+
+    def test_arity_checked(self):
+        mp = MeasurementPoint(Simulator(), "m", ["a", "b"])
+        with pytest.raises(ValueError):
+            mp.inject(1)
+
+    def test_unknown_field(self):
+        mp = MeasurementPoint(Simulator(), "m", ["a"])
+        mp.inject(1)
+        with pytest.raises(KeyError):
+            mp.column("nope")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementPoint(Simulator(), "m", ["x", "x"])
+
+    def test_where_filter(self):
+        sim = Simulator()
+        mp = MeasurementPoint(sim, "m", ["peer", "v"])
+        mp.inject("p0", 1)
+        mp.inject("p1", 2)
+        mp.inject("p0", 3)
+        assert [s.values[1] for s in mp.where(peer="p0")] == [1, 3]
+
+    def test_stats(self):
+        mp = MeasurementPoint(Simulator(), "m", ["v"])
+        for v in [1.0, 2.0, 3.0]:
+            mp.inject(v)
+        st = mp.stats("v")
+        assert st.count == 3
+        assert st.mean == pytest.approx(2.0)
+        assert st.minimum == 1.0 and st.maximum == 3.0 and st.total == 6.0
+
+    def test_stats_empty(self):
+        st = SeriesStats.of([])
+        assert st.count == 0 and math.isnan(st.mean)
+
+    def test_redefine_same_schema_ok_different_fails(self):
+        oml = MeasurementLibrary(Simulator())
+        mp1 = oml.define("m", ["a"])
+        assert oml.define("m", ["a"]) is mp1
+        with pytest.raises(ValueError):
+            oml.define("m", ["a", "b"])
+        assert "m" in oml
+
+    def test_last_on_empty_raises(self):
+        mp = MeasurementPoint(Simulator(), "m", ["v"])
+        with pytest.raises(LookupError):
+            mp.last("v")
+
+
+class TestOEDL:
+    def test_materialize_builds_stack(self):
+        desc = ExperimentDescription(
+            name="fig5-sync", n_peers=8, n_clusters=2,
+            app_name="obstacle", app_params={"n": 96, "scheme": "sync"},
+        )
+        dep = desc.materialize()
+        assert len(dep.network.nodes) == 8
+        assert len(dep.network.clusters()) == 2
+        assert dep.peer_names[0] == "peer00"
+        assert isinstance(dep.oml, MeasurementLibrary)
+
+    def test_with_params_copies(self):
+        desc = ExperimentDescription(name="e", n_peers=2, app_params={"n": 96})
+        d2 = desc.with_params(scheme="async")
+        assert d2.app_params == {"n": 96, "scheme": "async"}
+        assert desc.app_params == {"n": 96}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentDescription(name="bad", n_peers=0)
+        with pytest.raises(ValueError):
+            ExperimentDescription(name="bad", n_peers=2, n_clusters=3)
+
+    def test_summary_mentions_wan(self):
+        desc = ExperimentDescription(name="e", n_peers=2, n_clusters=2)
+        assert "100ms" in desc.summary()
+
+    def test_custom_spec_flows_through(self):
+        spec = TestbedSpec(wan_delay=0.25)
+        desc = ExperimentDescription(name="e", n_peers=4, n_clusters=2, spec=spec)
+        dep = desc.materialize()
+        names = dep.peer_names
+        assert dep.network.link(names[0], names[-1]).netem.delay == pytest.approx(0.25)
