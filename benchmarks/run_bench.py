@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Run the micro-benchmarks and write a machine-readable ``BENCH_micro.json``.
+
+Usage (from the repository root)::
+
+    python benchmarks/run_bench.py [--out BENCH_micro.json]
+
+Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, collects
+the per-benchmark mean/ops numbers, derives the fused-vs-reference
+speedups for the relaxation kernels, and writes the result as JSON.  The
+checked-in ``BENCH_micro.json`` is the perf trajectory record: future
+PRs rerun this script and compare against it before touching a hot path.
+
+Set ``REPRO_FULL=1`` to benchmark at the paper's 96³ size instead of the
+default 64³.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (reference, fused) benchmark pairs whose ratio is the kernel speedup.
+SPEEDUP_PAIRS = {
+    "jacobi_sweep": ("test_bench_jacobi_sweep_reference",
+                     "test_bench_jacobi_sweep_fused"),
+    "gauss_seidel_sweep": ("test_bench_gauss_seidel_sweep_reference",
+                           "test_bench_gauss_seidel_sweep_fused"),
+    "block_sweep": ("test_bench_block_sweep_reference",
+                    "test_bench_block_sweep_fused"),
+}
+
+
+def run_benchmarks(json_path: Path) -> None:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
+            "-q", "--benchmark-only", f"--benchmark-json={json_path}",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        check=True,
+    )
+
+
+def summarize(raw: dict) -> dict:
+    import numpy
+
+    results = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "ops_per_s": stats["ops"],
+            "rounds": stats["rounds"],
+        }
+    speedups = {}
+    for label, (ref, fused) in SPEEDUP_PAIRS.items():
+        if ref in results and fused in results:
+            speedups[label] = round(
+                results[ref]["mean_s"] / results[fused]["mean_s"], 3
+            )
+    return {
+        "generated_by": "benchmarks/run_bench.py",
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "repro_full": os.environ.get("REPRO_FULL", "0") == "1",
+        "kernel_speedups_vs_reference": speedups,
+        "benchmarks": results,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_micro.json",
+        help="output path (default: repo-root BENCH_micro.json)",
+    )
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench_raw.json"
+        run_benchmarks(raw_path)
+        raw = json.loads(raw_path.read_text())
+    summary = summarize(raw)
+    args.out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for label, ratio in summary["kernel_speedups_vs_reference"].items():
+        print(f"  {label}: {ratio:.2f}x vs plane-by-plane reference")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,9 @@ from repro.p2psap.data_channel import DataChannel
 from repro.simnet.kernel import Simulator
 from repro.simnet.network import Netem, Network
 
+#: Paper-claim regeneration: the long lane; -m "not slow" skips it.
+pytestmark = pytest.mark.slow
+
 N = 12
 N_PAPER = 96
 

@@ -17,6 +17,9 @@ from repro.experiments.figures import (
 from repro.experiments.harness import full_mode
 from repro.experiments.reporting import figure_report
 
+#: Paper-claim regeneration: the long lane; -m "not slow" skips it.
+pytestmark = pytest.mark.slow
+
 ALPHAS = (1, 2, 4, 8, 16, 24) if full_mode() else (1, 2, 4, 8)
 
 

@@ -7,13 +7,67 @@ relaxation rate, and message framing — the quantities that bound how big
 a simulated experiment this library can run.
 """
 
+import os
+
 import numpy as np
 
 from repro.cactus.events import EventBus
 from repro.cactus.messages import Message
+from repro.numerics.kernels import (
+    SweepWorkspace,
+    block_sweep,
+    gauss_seidel_sweep,
+    jacobi_sweep,
+)
 from repro.numerics.obstacle import membrane_problem
 from repro.numerics.richardson import projected_richardson, relax_plane
 from repro.simnet.kernel import Simulator
+from repro.solvers.halo import relax_block_plane
+
+#: Grid size for the sweep benchmarks (paper-size 96³ under REPRO_FULL).
+SWEEP_N = 96 if os.environ.get("REPRO_FULL", "0") == "1" else 64
+
+
+def _reference_jacobi_sweep(problem, u, u_next, delta, new_plane, scratch):
+    """The pre-kernel plane-by-plane Jacobi sweep (the seed's hot loop),
+    kept as the baseline the fused kernels are measured against."""
+    diff = 0.0
+    for z in range(problem.grid.n):
+        relax_plane(problem, u, z, delta, new_plane, scratch)
+        d = float(np.max(np.abs(new_plane - u[z])))
+        if d > diff:
+            diff = d
+        u_next[z] = new_plane
+    return diff
+
+
+def _reference_gs_sweep(problem, u, delta, new_plane, scratch):
+    """The pre-kernel plane-by-plane Gauss–Seidel sweep (seed hot loop)."""
+    diff = 0.0
+    for z in range(problem.grid.n):
+        relax_plane(problem, u, z, delta, new_plane, scratch)
+        d = float(np.max(np.abs(new_plane - u[z])))
+        if d > diff:
+            diff = d
+        u[z] = new_plane
+    return diff
+
+
+def _reference_block_sweep(problem, block, lo, hi, delta, gb, ga,
+                           new_plane, scratch):
+    """The pre-kernel plane-by-plane block sweep (seed sweep_block)."""
+    diff = 0.0
+    n_planes = hi - lo
+    for zl in range(n_planes):
+        below = block[zl - 1] if zl > 0 else gb
+        above = block[zl + 1] if zl < n_planes - 1 else ga
+        relax_block_plane(problem, block, zl, lo + zl, delta,
+                          new_plane, scratch, below, above)
+        d = float(np.max(np.abs(new_plane - block[zl])))
+        if d > diff:
+            diff = d
+        block[zl] = new_plane
+    return diff
 
 
 def test_bench_kernel_event_throughput(benchmark):
@@ -89,6 +143,91 @@ def test_bench_plane_relaxation(benchmark):
 
     result = benchmark(relax)
     assert np.isfinite(result).all()
+
+
+def test_bench_jacobi_sweep_reference(benchmark):
+    """Seed-style plane-by-plane whole-grid Jacobi sweep (baseline)."""
+    problem = membrane_problem(SWEEP_N)
+    n = SWEEP_N
+    u = problem.feasible_start()
+    u_next = np.empty_like(u)
+    new_plane = np.empty((n, n))
+    scratch = np.empty((n, n))
+    delta = problem.jacobi_delta()
+
+    diff = benchmark(
+        _reference_jacobi_sweep, problem, u, u_next, delta, new_plane, scratch
+    )
+    assert np.isfinite(diff)
+
+
+def test_bench_jacobi_sweep_fused(benchmark):
+    """Fused whole-grid Jacobi sweep (one relaxation of n³ points)."""
+    problem = membrane_problem(SWEEP_N)
+    ws = SweepWorkspace(problem, problem.jacobi_delta())
+    u = problem.feasible_start()
+    u_next = ws.rotation_buffer()
+
+    diff = benchmark(jacobi_sweep, ws, u, u_next)
+    assert np.isfinite(diff)
+
+
+def test_bench_gauss_seidel_sweep_reference(benchmark):
+    """Seed-style plane-by-plane Gauss–Seidel sweep (baseline)."""
+    problem = membrane_problem(SWEEP_N)
+    n = SWEEP_N
+    u = problem.feasible_start()
+    new_plane = np.empty((n, n))
+    scratch = np.empty((n, n))
+    delta = problem.jacobi_delta()
+
+    diff = benchmark(_reference_gs_sweep, problem, u, delta, new_plane, scratch)
+    assert np.isfinite(diff)
+
+
+def test_bench_gauss_seidel_sweep_fused(benchmark):
+    """Fused plane-sequential Gauss–Seidel sweep."""
+    problem = membrane_problem(SWEEP_N)
+    ws = SweepWorkspace(problem, problem.jacobi_delta())
+    u = problem.feasible_start()
+    u_next = ws.rotation_buffer()
+
+    diff = benchmark(gauss_seidel_sweep, ws, u, u_next)
+    assert np.isfinite(diff)
+
+
+def test_bench_block_sweep_reference(benchmark):
+    """Seed-style half-domain block sweep with ghost planes (baseline)."""
+    problem = membrane_problem(SWEEP_N)
+    n = SWEEP_N
+    lo, hi = n // 4, n // 4 + n // 2
+    u0 = problem.feasible_start()
+    block = u0[lo:hi].copy()
+    gb, ga = u0[lo - 1].copy(), u0[hi].copy()
+    new_plane = np.empty((n, n))
+    scratch = np.empty((n, n))
+    delta = problem.jacobi_delta()
+
+    diff = benchmark(
+        _reference_block_sweep, problem, block, lo, hi, delta, gb, ga,
+        new_plane, scratch,
+    )
+    assert np.isfinite(diff)
+
+
+def test_bench_block_sweep_fused(benchmark):
+    """Fused half-domain block sweep with ghost planes."""
+    problem = membrane_problem(SWEEP_N)
+    n = SWEEP_N
+    lo, hi = n // 4, n // 4 + n // 2
+    ws = SweepWorkspace(problem, problem.jacobi_delta(), lo=lo, hi=hi)
+    u0 = problem.feasible_start()
+    block = u0[lo:hi].copy()
+    nxt = ws.rotation_buffer()
+    gb, ga = u0[lo - 1].copy(), u0[hi].copy()
+
+    diff = benchmark(block_sweep, ws, block, nxt, gb, ga)
+    assert np.isfinite(diff)
 
 
 def test_bench_sequential_solve_16(benchmark):

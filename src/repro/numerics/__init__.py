@@ -8,6 +8,12 @@ Laplacian on the unit cube.
 from .blocks import BlockAssignment, partition_planes, weighted_partition
 from .convergence import DiffCriterion, ResidualHistory, max_diff
 from .grid import Grid3D
+from .kernels import (
+    SweepWorkspace,
+    block_sweep,
+    gauss_seidel_sweep,
+    jacobi_sweep,
+)
 from .mmatrix import (
     contraction_factor,
     is_diagonally_dominant,
@@ -35,6 +41,7 @@ __all__ = [
     "BlockAssignment", "partition_planes", "weighted_partition",
     "DiffCriterion", "ResidualHistory", "max_diff",
     "Grid3D",
+    "SweepWorkspace", "block_sweep", "gauss_seidel_sweep", "jacobi_sweep",
     "contraction_factor", "is_diagonally_dominant", "is_m_matrix",
     "is_z_matrix", "jacobi_spectral_radius", "laplacian_matrix_1d",
     "laplacian_matrix_3d",

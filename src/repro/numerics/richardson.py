@@ -31,6 +31,7 @@ from typing import Callable, Literal, Optional
 import numpy as np
 
 from .convergence import DiffCriterion, ResidualHistory
+from .kernels import SweepWorkspace, gauss_seidel_sweep, jacobi_sweep
 from .obstacle import AUTO_HALO, ObstacleProblem
 
 __all__ = ["SolveResult", "projected_richardson", "relax_plane"]
@@ -102,34 +103,23 @@ def projected_richardson(
         delta = problem.jacobi_delta()
     if delta <= 0:
         raise ValueError("delta must be positive")
+    if sweep not in ("jacobi", "gauss_seidel"):
+        raise ValueError(f"unknown sweep {sweep!r}")
     grid = problem.grid
-    n = grid.n
     u = problem.feasible_start() if u0 is None else u0.astype(float).copy()
     grid.validate_field(u, "u0")
 
     criterion = DiffCriterion(tol)
     history = ResidualHistory()
-    scratch = np.empty((n, n))
-    new_plane = np.empty((n, n))
-    u_next = np.empty_like(u) if sweep == "jacobi" else None
+    ws = SweepWorkspace(problem, delta)
+    kernel = jacobi_sweep if sweep == "jacobi" else gauss_seidel_sweep
+    # Buffer rotation: the kernel writes the new iterate into the spare
+    # array and the two swap roles every relaxation (no plane copies).
+    u_next = ws.rotation_buffer()
 
     for relaxation in range(1, max_relaxations + 1):
-        diff = 0.0
-        if sweep == "jacobi":
-            for z in range(n):
-                relax_plane(problem, u, z, delta, new_plane, scratch)
-                d = float(np.max(np.abs(new_plane - u[z])))
-                if d > diff:
-                    diff = d
-                u_next[z] = new_plane
-            u, u_next = u_next, u
-        else:  # gauss_seidel: update in place, planes see fresh data
-            for z in range(n):
-                relax_plane(problem, u, z, delta, new_plane, scratch)
-                d = float(np.max(np.abs(new_plane - u[z])))
-                if d > diff:
-                    diff = d
-                u[z] = new_plane
+        diff = kernel(ws, u, u_next)
+        u, u_next = u_next, u
         history.append(diff)
         if callback is not None:
             callback(relaxation, diff)

@@ -6,7 +6,10 @@ environment and the distributed obstacle-problem solver) execute on top of
 this kernel: computation costs and network delays advance a *virtual clock*
 while the actual numerics run natively in NumPy.  Because event ordering is
 a pure function of (event time, priority, sequence number), a simulation
-with a fixed RNG seed is exactly reproducible.
+with a fixed RNG seed is exactly reproducible.  (One deliberate exception
+to the queue ordering: a :meth:`Channel.get` on a non-empty channel hands
+the item over synchronously, already processed, without entering the event
+queue — see :meth:`Channel.get`.  Determinism is unaffected.)
 
 The programming model is generator-based cooperative processes, in the
 style of SimPy:
@@ -30,10 +33,11 @@ when the generator returns), so processes can wait on each other.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
+import sys
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -81,6 +85,10 @@ URGENT = 0
 NORMAL = 1
 LOW = 2
 
+# CPython refcount introspection, used by the Timeout recycling fast path;
+# absent on some interpreters, in which case recycling is disabled.
+_getrefcount = getattr(sys, "getrefcount", None)
+
 
 class Event:
     """A one-shot occurrence on the simulation timeline.
@@ -90,7 +98,7 @@ class Event:
     Callbacks receive the event as their only argument.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_processed", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
 
     _PENDING = object()
 
@@ -99,7 +107,6 @@ class Event:
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = Event._PENDING
         self._ok = True
-        self._scheduled = False
         self._processed = False
         # A failed event whose error was delivered to at least one waiter
         # (or explicitly defused) does not take down the whole simulation.
@@ -180,6 +187,21 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         sim._schedule(self, priority, delay=delay)
+
+    def _rearm(self, delay: float, value: Any) -> None:
+        """Re-initialize a recycled instance (kernel-internal; only ever
+        called on a processed Timeout nobody else references)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        if math.isnan(delay):
+            raise ValueError("timeout delay is NaN")
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        self.sim._schedule(self, NORMAL, delay=delay)
 
 
 class Process(Event):
@@ -408,10 +430,21 @@ class Channel:
         self._items.append(item)
 
     def get(self) -> Event:
-        """Return an event that fires with the next item."""
+        """Return an event that fires with the next item.
+
+        When an item is already buffered the event comes back *already
+        processed* — a put→get direct handoff.  A process yielding it is
+        resumed synchronously by the kernel's processed-event fast path
+        instead of taking a round-trip through the event queue, and
+        composite waits (:class:`AnyOf`/:class:`AllOf`) count it as fired
+        on construction.  Timeline semantics are unchanged: the value
+        was deposited at or before the current instant either way.
+        """
         ev = Event(self.sim)
         if self._items:
-            ev.succeed(self._items.popleft())
+            ev._value = self._items.popleft()
+            ev.callbacks = None
+            ev._processed = True
         else:
             self._getters.append(ev)
         return ev
@@ -460,6 +493,11 @@ class Simulator:
     the whole simulation deterministic.
     """
 
+    #: Cap on recycled Timeout instances kept per simulator (see
+    #: :meth:`timeout`); small — a pool this size already absorbs every
+    #: timeout chain the protocol stack creates.
+    _TIMEOUT_POOL_MAX = 64
+
     def __init__(self):
         self._now = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -467,6 +505,7 @@ class Simulator:
         self._active_proc: Optional[Process] = None
         self._n_live_processes = 0
         self._trace_hooks: list[Callable[[float, Event], None]] = []
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock -------------------------------------------------------------
 
@@ -487,7 +526,18 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` time units from now."""
+        """An event firing ``delay`` time units from now.
+
+        Allocation-light: processed timeouts that provably have no
+        remaining references (see :meth:`step`) are recycled instead of
+        constructing a fresh object per call — the dominant allocation
+        of timeout-chain-heavy simulations.
+        """
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._rearm(delay, value)
+            return t
         return Timeout(self, delay, value)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
@@ -513,8 +563,7 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
 
     def add_trace_hook(self, hook: Callable[[float, Event], None]) -> None:
         """Register a callable invoked as ``hook(time, event)`` for every
@@ -527,19 +576,32 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for cb in callbacks:
             cb(event)
         event._processed = True
         if not event._ok and not event._defused:
             # Nobody waited on a failed event: surface the error.
             raise event._value
-        for hook in self._trace_hooks:
-            hook(self._now, event)
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(when, event)
+        # Recycle plain Timeouts nobody references any more (refcount 2 =
+        # the local variable + getrefcount's argument): the next
+        # sim.timeout() reuses the object instead of allocating.
+        if (
+            type(event) is Timeout
+            and _getrefcount is not None
+            and _getrefcount(event) == 2
+            and len(self._timeout_pool) < self._TIMEOUT_POOL_MAX
+        ):
+            event._value = None  # don't pin the payload while pooled
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or virtual time reaches ``until``.
@@ -549,18 +611,20 @@ class Simulator:
         bug (e.g. a synchronous receive that can never be satisfied), so
         failing loudly beats silently returning.
         """
+        queue = self._queue
+        step = self.step
         if until is not None:
             if until < self._now:
                 raise ValueError(f"until={until} is in the past (now={self._now})")
             horizon = Timeout(self, until - self._now, priority=URGENT)
-            while self._queue:
-                if self._queue[0][3] is horizon:
+            while queue:
+                if queue[0][3] is horizon:
                     self._now = until
                     return
-                self.step()
+                step()
             return
-        while self._queue:
-            self.step()
+        while queue:
+            step()
         if self._n_live_processes > 0:
             raise DeadlockError(
                 f"simulation ran dry with {self._n_live_processes} live "

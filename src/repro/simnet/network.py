@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
+import zlib
 from typing import Any, Callable, Iterator, Optional
 
 import numpy as np
@@ -375,7 +376,9 @@ class Network:
     def _fresh_rng(self, src: str, dst: str) -> np.random.Generator:
         # Derive a per-link stream from the network seed and the pair name,
         # so adding unrelated links does not perturb existing randomness.
-        digest = abs(hash((src, dst))) % (2**31)
+        # crc32, not hash(): str hashing is salted per process, which would
+        # silently break cross-run reproducibility of lossy-link traces.
+        digest = zlib.crc32(f"{src}\x00{dst}".encode()) % (2**31)
         return np.random.default_rng(self._seed_seq.spawn(1)[0].generate_state(1)[0] ^ digest)
 
     def _pair(self, src: str, dst: str) -> tuple[Node, Node]:

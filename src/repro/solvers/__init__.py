@@ -5,6 +5,7 @@ from .distributed_richardson import (
     DistributedSolveReport,
     ObstacleApplication,
     PROBLEM_FACTORIES,
+    clear_problem_cache,
     get_problem,
 )
 from .halo import BlockState, relax_block_plane, sweep_block
@@ -15,6 +16,7 @@ __all__ = [
     "DistributedSolveReport",
     "ObstacleApplication",
     "PROBLEM_FACTORIES",
+    "clear_problem_cache",
     "get_problem",
     "BlockState",
     "relax_block_plane",

@@ -57,21 +57,37 @@ PROBLEM_FACTORIES: dict[str, Callable[[int], ObstacleProblem]] = {
 
 # Peers in one process share read-only problem data (fields b, obstacle):
 # a memory optimization of the simulation, not of the algorithm — each
-# peer still owns and updates only its block of the iterate.
+# peer still owns and updates only its block of the iterate.  The cache
+# is a bounded LRU (large instances are ~n³ floats each; an unbounded
+# module global would grow for the life of the process) and can be
+# cleared explicitly so test runs cannot leak state into each other.
+_PROBLEM_CACHE_MAX = 16
 _problem_cache: dict[tuple[str, int], ObstacleProblem] = {}
 
 
 def get_problem(kind: str, n: int) -> ObstacleProblem:
     key = (kind, n)
-    if key not in _problem_cache:
+    problem = _problem_cache.get(key)
+    if problem is None:
         try:
             factory = PROBLEM_FACTORIES[kind]
         except KeyError:
             raise ValueError(
                 f"unknown problem kind {kind!r}; known: {sorted(PROBLEM_FACTORIES)}"
             ) from None
-        _problem_cache[key] = factory(n)
-    return _problem_cache[key]
+        problem = factory(n)
+        while len(_problem_cache) >= _PROBLEM_CACHE_MAX:
+            _problem_cache.pop(next(iter(_problem_cache)))
+    else:
+        # Re-insert to record recency (dicts preserve insertion order).
+        del _problem_cache[key]
+    _problem_cache[key] = problem
+    return problem
+
+
+def clear_problem_cache() -> None:
+    """Drop every cached problem instance (test isolation hook)."""
+    _problem_cache.clear()
 
 
 @dataclasses.dataclass

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..numerics.kernels import SweepWorkspace, block_sweep
 from ..numerics.obstacle import ObstacleProblem
 
 __all__ = ["BlockState", "relax_block_plane", "sweep_block"]
@@ -74,11 +75,11 @@ class BlockState:
         self.block = u0[self.lo:self.hi].copy()
         self.ghost_below = u0[self.lo - 1].copy() if self.lo > 0 else None
         self.ghost_above = u0[self.hi].copy() if self.hi < n else None
-        self._scratch = np.empty((n, n))
-        self._new_plane = np.empty((n, n))
-        self._prev_block = (
-            np.empty_like(self.block) if self.local_sweep == "jacobi" else None
-        )
+        self._workspace = SweepWorkspace(self.problem, self.delta,
+                                         lo=self.lo, hi=self.hi)
+        # Rotation buffer: each sweep writes the new iterate here, then
+        # the two block arrays swap roles (no per-plane copies).
+        self._next_block = self._workspace.rotation_buffer()
 
     @property
     def n_planes(self) -> int:
@@ -127,32 +128,15 @@ class BlockState:
 
 
 def sweep_block(state: BlockState) -> float:
-    """Relax every plane of the block in ascending order."""
-    problem = state.problem
-    block = state.block
-    diff = 0.0
-    new_plane = state._new_plane
-    scratch = state._scratch
-    if state.local_sweep == "jacobi":
-        # Neighbour reads come from the frozen previous iterate.
-        np.copyto(state._prev_block, block)
-        src = state._prev_block
-    else:
-        src = block
-    for z_local in range(state.n_planes):
-        z_global = state.lo + z_local
-        below = (
-            src[z_local - 1] if z_local > 0 else state.ghost_below
-        )
-        above = (
-            src[z_local + 1] if z_local < state.n_planes - 1 else state.ghost_above
-        )
-        relax_block_plane(
-            problem, src, z_local, z_global, state.delta,
-            new_plane, scratch, below, above,
-        )
-        d = float(np.max(np.abs(new_plane - block[z_local])))
-        if d > diff:
-            diff = d
-        block[z_local] = new_plane
+    """Relax every plane of the block in ascending order (fused kernel).
+
+    Equivalent to relaxing plane-by-plane with
+    :func:`relax_block_plane` — the cross-check the kernel tests
+    assert — but via the fused slab kernels and buffer rotation.
+    """
+    diff = block_sweep(
+        state._workspace, state.block, state._next_block,
+        state.ghost_below, state.ghost_above, order=state.local_sweep,
+    )
+    state.block, state._next_block = state._next_block, state.block
     return diff

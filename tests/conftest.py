@@ -1,0 +1,20 @@
+"""Shared test fixtures.
+
+The solver layer keeps a module-global LRU of problem instances
+(:mod:`repro.solvers.distributed_richardson`).  Within one test module
+that sharing is a deliberate speed-up — problems are read-only — but it
+must not leak across modules, so the cache is dropped at every module
+boundary.
+"""
+
+import pytest
+
+from repro.solvers.distributed_richardson import clear_problem_cache
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolated_problem_cache():
+    """Clear the shared problem cache around every test module."""
+    clear_problem_cache()
+    yield
+    clear_problem_cache()

@@ -10,6 +10,9 @@ import pytest
 from repro.experiments.figures import FigureSeries, check_paper_claims
 from repro.experiments.harness import run_configuration
 
+#: Paper-claim regeneration: the long lane; -m "not slow" skips it.
+pytestmark = pytest.mark.slow
+
 N = 12
 N_PAPER = 96
 ALPHAS = (1, 2, 4)

@@ -1,0 +1,215 @@
+"""DES kernel fast paths: Timeout recycling and channel direct handoff.
+
+These optimizations must be invisible at the semantic level — same
+values, same virtual times, same determinism — so the tests here pin
+the observable behaviour while poking at the reuse machinery directly.
+"""
+
+import pytest
+
+from repro.simnet.kernel import (
+    DeadlockError,
+    Event,
+    Simulator,
+    Timeout,
+)
+
+
+class TestTimeoutRecycling:
+    def test_chain_reuses_timeout_objects(self):
+        """A timeout chain must not allocate one Timeout per tick."""
+        sim = Simulator()
+        ids = []
+
+        def ticker():
+            for _ in range(50):
+                t = sim.timeout(1.0)
+                ids.append(id(t))
+                yield t
+                del t  # drop our reference so the kernel may recycle it
+
+        sim.spawn(ticker())
+        sim.run()
+        assert sim.now == 50.0
+        # Far fewer distinct objects than ticks (recycling kicked in).
+        assert len(set(ids)) < len(ids)
+
+    def test_recycled_timeout_validates_delay(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+        with pytest.raises(ValueError):
+            sim.timeout(float("nan"))
+
+    def test_recycled_timeout_carries_fresh_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            for i in range(10):
+                v = yield sim.timeout(0.5, value=i)
+                got.append(v)
+
+        sim.spawn(proc())
+        sim.run()
+        assert got == list(range(10))
+
+    def test_referenced_timeout_is_not_recycled(self):
+        """Holding a reference must keep the event's value stable."""
+        sim = Simulator()
+        held = []
+
+        def proc():
+            for i in range(5):
+                t = sim.timeout(1.0, value=i)
+                held.append(t)
+                yield t
+
+        sim.spawn(proc())
+        sim.run()
+        assert [t.value for t in held] == [0, 1, 2, 3, 4]
+        assert len({id(t) for t in held}) == 5
+        assert all(t.processed for t in held)
+
+    def test_pool_is_bounded(self):
+        sim = Simulator()
+
+        def burst():
+            for _ in range(300):
+                yield sim.timeout(0.001)
+
+        sim.spawn(burst())
+        sim.run()
+        assert len(sim._timeout_pool) <= Simulator._TIMEOUT_POOL_MAX
+
+
+class TestChannelDirectHandoff:
+    def test_buffered_get_is_already_processed(self):
+        sim = Simulator()
+        ch = sim.channel()
+        ch.put("x")
+        ev = ch.get()
+        assert ev.processed and ev.triggered and ev.ok
+        assert ev.value == "x"
+
+    def test_empty_get_still_waits(self):
+        sim = Simulator()
+        ch = sim.channel()
+        ev = ch.get()
+        assert not ev.triggered and not ev.processed
+
+    def test_handoff_preserves_fifo_and_times(self):
+        sim = Simulator()
+        ch = sim.channel()
+        out = []
+
+        def producer():
+            for i in range(4):
+                ch.put(i)
+            yield sim.timeout(2.0)
+            ch.put(99)
+
+        def consumer():
+            yield sim.timeout(1.0)
+            for _ in range(5):
+                item = yield ch.get()
+                out.append((sim.now, item))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        # Buffered items all arrive at t=1 (synchronously, no queue
+        # round-trips); the late one at its put time.
+        assert out == [(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3), (2.0, 99)]
+
+    def test_handoff_event_composes_with_any_of(self):
+        sim = Simulator()
+        ch = sim.channel()
+        ch.put("ready")
+
+        def proc():
+            ev = ch.get()
+            fired = yield sim.any_of([ev, sim.timeout(10.0)])
+            return fired[ev]
+
+        p = sim.spawn(proc())
+        sim.run(until=11.0)
+        assert p.value == "ready"
+        assert sim.now == 11.0
+
+    def test_cancel_get_on_handoff_event_is_noop(self):
+        sim = Simulator()
+        ch = sim.channel()
+        ch.put(1)
+        ch.put(2)
+        ev = ch.get()
+        ch.cancel_get(ev)  # already fired: must not resurrect the item
+        assert ev.value == 1
+        assert ch.get_nowait() == (True, 2)
+
+    def test_triggering_handoff_event_again_is_error(self):
+        sim = Simulator()
+        ch = sim.channel()
+        ch.put("x")
+        ev = ch.get()
+        with pytest.raises(Exception):
+            ev.succeed("y")
+
+
+class TestSemanticsUnchanged:
+    def test_deadlock_still_detected(self):
+        sim = Simulator()
+
+        def stuck():
+            yield Event(sim)
+
+        sim.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_run_until_with_recycling(self):
+        sim = Simulator()
+
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.spawn(ticker())
+        sim.run(until=100.5)
+        assert sim.now == 100.5
+
+    def test_determinism_with_fastpaths(self):
+        def build():
+            sim = Simulator()
+            ch = sim.channel()
+            trace = []
+
+            def prod(tag, d):
+                for i in range(5):
+                    yield sim.timeout(d)
+                    ch.put((tag, i))
+
+            def cons():
+                for _ in range(10):
+                    item = yield ch.get()
+                    trace.append((sim.now, item))
+
+            sim.spawn(prod("a", 0.7))
+            sim.spawn(prod("b", 1.1))
+            sim.spawn(cons())
+            sim.run()
+            return trace
+
+        assert build() == build()
+
+    def test_timeout_subclass_identity_preserved(self):
+        sim = Simulator()
+        t = sim.timeout(1.0)
+        assert type(t) is Timeout
+        sim.run()
