@@ -4,12 +4,23 @@
 Usage (from the repository root)::
 
     python benchmarks/run_bench.py [--out BENCH_micro.json]
+    python benchmarks/run_bench.py --check [--tolerance 1.0]
 
 Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, collects
 the per-benchmark mean/ops numbers, derives the fused-vs-reference
-speedups for the relaxation kernels, and writes the result as JSON.  The
+speedups for the relaxation kernels and the process-vs-inline speedup of
+the sharded sweep executor, and writes the result as JSON.  The
 checked-in ``BENCH_micro.json`` is the perf trajectory record: future
 PRs rerun this script and compare against it before touching a hot path.
+
+``--check`` runs fresh benchmarks and *diffs* them against the committed
+JSON instead of overwriting it: any benchmark slower than the committed
+mean by more than ``--tolerance`` (a fraction: 1.0 = 2× slower) fails
+the run with exit status 1 — the CI perf gate.
+
+The executor speedup measures real parallel hardware: interpret
+``executor_speedups_vs_inline`` alongside the recorded ``cpu_count``
+(a 1-core machine can only show the IPC overhead, never a speedup).
 
 Set ``REPRO_FULL=1`` to benchmark at the paper's 96³ size instead of the
 default 64³.
@@ -37,6 +48,15 @@ SPEEDUP_PAIRS = {
                            "test_bench_gauss_seidel_sweep_fused"),
     "block_sweep": ("test_bench_block_sweep_reference",
                     "test_bench_block_sweep_fused"),
+}
+
+#: (inline, process) pairs whose ratio is the sweep-executor speedup —
+#: identical relaxation work, sharded across a 2-worker process pool.
+EXECUTOR_PAIRS = {
+    "block_sweep_2_shards_2_workers": (
+        "test_bench_block_sweep_sharded_inline",
+        "test_bench_block_sweep_sharded_process",
+    ),
 }
 
 
@@ -76,6 +96,12 @@ def summarize(raw: dict) -> dict:
             speedups[label] = round(
                 results[ref]["mean_s"] / results[fused]["mean_s"], 3
             )
+    executor_speedups = {}
+    for label, (inline, process) in EXECUTOR_PAIRS.items():
+        if inline in results and process in results:
+            executor_speedups[label] = round(
+                results[inline]["mean_s"] / results[process]["mean_s"], 3
+            )
     return {
         "generated_by": "benchmarks/run_bench.py",
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
@@ -83,10 +109,55 @@ def summarize(raw: dict) -> dict:
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "repro_full": os.environ.get("REPRO_FULL", "0") == "1",
         "kernel_speedups_vs_reference": speedups,
+        "executor_speedups_vs_inline": executor_speedups,
         "benchmarks": results,
     }
+
+
+def print_summary(summary: dict) -> None:
+    for label, ratio in summary["kernel_speedups_vs_reference"].items():
+        print(f"  {label}: {ratio:.2f}x vs plane-by-plane reference")
+    cores = summary.get("cpu_count")
+    for label, ratio in summary.get("executor_speedups_vs_inline", {}).items():
+        print(f"  executor {label}: {ratio:.2f}x vs inline "
+              f"({cores} core(s) available)")
+
+
+def check(fresh: dict, committed: dict, tolerance: float) -> int:
+    """Diff fresh results against the committed record; 0 = within
+    tolerance.  Only benchmarks present in both are compared, so adding
+    or retiring benchmarks never breaks the gate."""
+    print(f"checking against committed record "
+          f"(generated {committed.get('generated_at', '?')}, "
+          f"cpu_count={committed.get('cpu_count', '?')}; "
+          f"tolerance {tolerance:.0%})")
+    failures = []
+    for name, stats in sorted(fresh["benchmarks"].items()):
+        base = committed.get("benchmarks", {}).get(name)
+        if base is None:
+            print(f"  NEW   {name}: {stats['mean_s'] * 1e3:.3f} ms "
+                  "(no committed baseline)")
+            continue
+        ratio = stats["mean_s"] / base["mean_s"]
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "SLOWER"
+            failures.append((name, ratio))
+        print(f"  {verdict:6s}{name}: {stats['mean_s'] * 1e3:.3f} ms "
+              f"vs {base['mean_s'] * 1e3:.3f} ms ({ratio:.2f}x)")
+    for name in sorted(set(committed.get("benchmarks", {})) -
+                       set(fresh["benchmarks"])):
+        print(f"  GONE  {name}: in committed record only")
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed past tolerance:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x slower than committed")
+        return 1
+    print("all shared benchmarks within tolerance")
+    return 0
 
 
 def main() -> int:
@@ -95,16 +166,44 @@ def main() -> int:
         "--out", type=Path, default=REPO_ROOT / "BENCH_micro.json",
         help="output path (default: repo-root BENCH_micro.json)",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare fresh results against the committed record instead "
+             "of overwriting it; exit 1 past --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.0,
+        help="allowed slowdown fraction for --check (1.0 = up to 2x "
+             "slower passes; perf varies a lot across CI machines)",
+    )
     args = parser.parse_args()
+    committed = None
+    if args.check:
+        # Guaranteed failures fail *before* the multi-minute benchmark
+        # run, not after it.
+        if not args.out.exists():
+            print(f"no committed record at {args.out}; nothing to check")
+            return 1
+        committed = json.loads(args.out.read_text())
+        full = os.environ.get("REPRO_FULL", "0") == "1"
+        if committed.get("repro_full") != full:
+            print(
+                "grid-size mismatch: committed record has "
+                f"repro_full={committed.get('repro_full')} but this run "
+                f"would have repro_full={full} — means are not comparable "
+                "(set REPRO_FULL to match the record)"
+            )
+            return 1
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "bench_raw.json"
         run_benchmarks(raw_path)
         raw = json.loads(raw_path.read_text())
     summary = summarize(raw)
+    if args.check:
+        return check(summary, committed, args.tolerance)
     args.out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
-    for label, ratio in summary["kernel_speedups_vs_reference"].items():
-        print(f"  {label}: {ratio:.2f}x vs plane-by-plane reference")
+    print_summary(summary)
     return 0
 
 

@@ -253,3 +253,54 @@ def test_bench_message_framing(benchmark):
 
     size = benchmark(frame)
     assert size > payload.nbytes
+
+
+def _sharded_ranges(n):
+    return [(0, n // 2), (n // 2, n)]
+
+
+def test_bench_block_sweep_sharded_inline(benchmark):
+    """Both halves of the domain swept back to back in this process —
+    the single-core baseline for the executor-speedup dimension (same
+    total relaxation work as the process-executor benchmark below)."""
+    problem = membrane_problem(SWEEP_N)
+    delta = problem.jacobi_delta()
+    ranges = _sharded_ranges(SWEEP_N)
+    u0 = problem.feasible_start()
+    workspaces = [
+        SweepWorkspace(problem, delta, lo=lo, hi=hi) for lo, hi in ranges
+    ]
+    blocks = [u0[lo:hi].copy() for lo, hi in ranges]
+    nxts = [ws.rotation_buffer() for ws in workspaces]
+    mid = SWEEP_N // 2
+    ghosts = [(None, u0[mid].copy()), (u0[mid - 1].copy(), None)]
+
+    def sweep_all_shards():
+        diff = 0.0
+        for i, ws in enumerate(workspaces):
+            gb, ga = ghosts[i]
+            d = block_sweep(ws, blocks[i], nxts[i], gb, ga)
+            blocks[i], nxts[i] = nxts[i], blocks[i]
+            if d > diff:
+                diff = d
+        return diff
+
+    diff = benchmark(sweep_all_shards)
+    assert np.isfinite(diff)
+
+
+def test_bench_block_sweep_sharded_process(benchmark):
+    """The same two shards swept by a 2-worker process pool over
+    shared-memory planes.  Wall-clock scales with physical cores; the
+    recorded `executor_speedups_vs_inline` ratio against the inline
+    baseline is meaningful only alongside the recorded `cpu_count`."""
+    from repro.parallel import ParallelBlockRunner
+
+    runner = ParallelBlockRunner(
+        "membrane", SWEEP_N, ranges=_sharded_ranges(SWEEP_N), n_workers=2,
+    )
+    try:
+        diff = benchmark(lambda: max(runner.sweep_all()))
+        assert np.isfinite(diff)
+    finally:
+        runner.close()

@@ -14,6 +14,7 @@ the ownership/neighbour queries the solver and the load balancer need.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Optional, Sequence
 
@@ -102,17 +103,22 @@ class BlockAssignment:
             raise ValueError("ranges must tile [0, n_planes) contiguously")
         if any(len(r) == 0 for r in self.ranges):
             raise ValueError("every node needs at least one plane")
+        # Range starts, sorted by construction: ownership lookups (one
+        # per exchanged plane on the solver's hot path) bisect these
+        # instead of scanning all α ranges.
+        object.__setattr__(
+            self, "_starts", tuple(r.start for r in self.ranges)
+        )
 
     @property
     def n_nodes(self) -> int:
         return len(self.ranges)
 
     def owner(self, plane: int) -> int:
-        """Which node owns ``plane``."""
-        for k, r in enumerate(self.ranges):
-            if plane in r:
-                return k
-        raise IndexError(f"plane {plane} out of range")
+        """Which node owns ``plane`` (O(log α) bisection)."""
+        if not 0 <= plane < self.n_planes:
+            raise IndexError(f"plane {plane} out of range")
+        return bisect.bisect_right(self._starts, plane) - 1
 
     def first(self, node: int) -> int:
         """U_f(k): the node's first plane (Figure 4)."""

@@ -56,6 +56,7 @@ bit of the result.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -69,18 +70,47 @@ __all__ = [
     "block_sweep",
 ]
 
-#: Target size (bytes) of the per-slab working set; slabs are sized so
-#: roughly three slab-arrays fit in L2 together.
+#: Default target size (bytes) of the per-slab working set; slabs are
+#: sized so roughly three slab-arrays fit in L2 together.  A fixed 1 MiB
+#: is a guess at a common L2 — machines with smaller (or much larger)
+#: caches can correct it at runtime with ``REPRO_SLAB_BYTES`` without
+#: editing source (first step toward auto-tuned slabs).
 _SLAB_TARGET_BYTES = 1 << 20
+
+#: Environment override for the slab working-set target, in bytes.
+_SLAB_ENV = "REPRO_SLAB_BYTES"
+
+
+def _slab_target_bytes() -> int:
+    """The slab working-set target, honoring ``REPRO_SLAB_BYTES``.
+
+    The override must parse as a positive integer (plain, or 0x/0o/0b
+    prefixed); anything else raises ``ValueError`` rather than silently
+    mis-sizing every sweep.  Read per workspace construction, so tests
+    and long-running processes can adjust it without reimporting.
+    """
+    raw = os.environ.get(_SLAB_ENV)
+    if raw is None or raw.strip() == "":
+        return _SLAB_TARGET_BYTES
+    try:
+        value = int(raw, 0)
+    except ValueError:
+        raise ValueError(
+            f"{_SLAB_ENV} must be an integer byte count, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{_SLAB_ENV} must be positive, got {value}")
+    return value
 
 
 def _default_slab(n: int, n_planes: int) -> int:
     """Planes per slab: the whole block when it is small enough to stay
     cache-resident, otherwise a few planes."""
+    target = _slab_target_bytes()
     plane_bytes = 8 * n * n
-    if n_planes * plane_bytes * 3 <= 2 * _SLAB_TARGET_BYTES:
+    if n_planes * plane_bytes * 3 <= 2 * target:
         return n_planes
-    return max(2, _SLAB_TARGET_BYTES // (3 * plane_bytes) or 2)
+    return max(2, target // (3 * plane_bytes) or 2)
 
 
 class SweepWorkspace:

@@ -1,0 +1,45 @@
+"""Sharded multi-process execution of block relaxation sweeps.
+
+The DES models the *testbed network*; this package scales the *compute*.
+The block kernel + ghost-plane contract of :mod:`repro.numerics.kernels`
+is process-agnostic: a sweep reads ``cur`` (+ two ghost planes), fully
+overwrites ``nxt``, and returns a max-norm diff.  Everything a worker
+process needs can therefore live in ``multiprocessing.shared_memory``:
+
+:class:`SharedPlaneArena`
+    one shared segment holding, per shard, the two rotation buffers
+    (``(hi−lo, n, n)`` each), the two ghost planes, and a diff slot;
+
+:class:`ShardPool`
+    persistent worker processes, each owning a :class:`SweepWorkspace`
+    per assigned shard and executing ``block_sweep`` over its arena
+    views on command;
+
+:class:`ParallelBlockRunner`
+    the driver: one synchronous or asynchronous relaxation step across
+    all shards (``sweep_all``), per-shard sweeps for the DES-resident
+    solver (``sweep``), and the boundary-plane views the simulated
+    ``P2P_Send``/``P2P_Receive`` path hands around.
+
+Workers run the *same* fused kernels on the *same* float64 layout, so a
+process-sharded sweep matches the in-process ``block_sweep`` iterate for
+iterate (the equivalence suite asserts bit-equality, well inside the
+repo-wide ≤1e-12 guarantee).
+"""
+
+from .arena import ArenaSpec, SharedPlaneArena
+from .pool import ShardPool
+from .runner import (
+    ParallelBlockRunner,
+    acquire_shared_runner,
+    release_shared_runner,
+)
+
+__all__ = [
+    "ArenaSpec",
+    "SharedPlaneArena",
+    "ShardPool",
+    "ParallelBlockRunner",
+    "acquire_shared_runner",
+    "release_shared_runner",
+]

@@ -1,0 +1,211 @@
+"""Shared-memory placement of the iterate's planes, ghosts, and diffs.
+
+One :class:`SharedPlaneArena` backs one sharded solve: for every shard
+(a contiguous plane range ``[lo, hi)`` of the global ``(n, n, n)``
+iterate) it holds the two rotation buffers the fused kernels swap
+between, the two ghost planes neighbours write boundary sub-blocks
+into, and a per-shard diff slot.  The layout is a pure function of
+``(n, ranges)``, so a worker process can attach by segment name and
+derive byte-identical views — no pickled arrays ever cross a pipe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ArenaSpec", "SharedPlaneArena"]
+
+_FLOAT = np.float64
+_ITEM = 8  # bytes per float64
+
+
+@dataclasses.dataclass(frozen=True)
+class ArenaSpec:
+    """Everything needed to attach an arena from another process."""
+
+    name: str
+    n: int
+    ranges: tuple[tuple[int, int], ...]
+
+
+def _validate_ranges(n: int, ranges: tuple[tuple[int, int], ...]) -> None:
+    if not ranges:
+        raise ValueError("arena needs at least one shard")
+    expect = 0
+    for lo, hi in ranges:
+        if lo != expect or hi <= lo:
+            raise ValueError(
+                f"shard ranges must tile [0, {n}) contiguously, got {ranges}"
+            )
+        expect = hi
+    if expect != n:
+        raise ValueError(f"shard ranges cover [0, {expect}), grid has {n} planes")
+
+
+def _layout(n: int, ranges: tuple[tuple[int, int], ...]) -> tuple[int, list[dict]]:
+    """Byte offsets of every array in the segment (deterministic)."""
+    plane = n * n * _ITEM
+    offset = 0
+    shards: list[dict] = []
+    for lo, hi in ranges:
+        block = (hi - lo) * plane
+        entry = {
+            "buf0": offset,
+            "buf1": offset + block,
+            "ghost_below": offset + 2 * block,
+            "ghost_above": offset + 2 * block + plane,
+        }
+        offset += 2 * block + 2 * plane
+        shards.append(entry)
+    diffs = offset
+    offset += len(ranges) * _ITEM
+    return offset, [dict(s, diffs=diffs) for s in shards]
+
+
+class SharedPlaneArena:
+    """Shared segment + numpy views for a sharded ``(n, n, n)`` iterate.
+
+    Create in the driver process (``SharedPlaneArena(n, ranges)``),
+    attach everywhere else (``SharedPlaneArena.attach(arena.spec)``).
+    The creator unlinks the segment on :meth:`close`; attachments only
+    drop their mapping.
+    """
+
+    def __init__(self, n: int, ranges, *, _attach_spec: Optional[ArenaSpec] = None,
+                 _untrack_attachment: bool = False):
+        if _attach_spec is None:
+            ranges = tuple((int(r[0]), int(r[1])) for r in ranges)
+            _validate_ranges(n, ranges)
+            size, layout = _layout(n, ranges)
+            name = f"repro-arena-{secrets.token_hex(6)}"
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+            self._owner = True
+        else:
+            n = _attach_spec.n
+            ranges = _attach_spec.ranges
+            _validate_ranges(n, ranges)
+            size, layout = _layout(n, ranges)
+            self._shm = shared_memory.SharedMemory(name=_attach_spec.name)
+            self._owner = False
+            if _untrack_attachment:
+                _untrack(self._shm)
+        self.n = n
+        self.ranges = ranges
+        self.n_shards = len(ranges)
+        buf = self._shm.buf
+        self._blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._ghosts: list[tuple[np.ndarray, np.ndarray]] = []
+        for (lo, hi), off in zip(ranges, layout):
+            shape = (hi - lo, n, n)
+            self._blocks.append((
+                np.ndarray(shape, dtype=_FLOAT, buffer=buf, offset=off["buf0"]),
+                np.ndarray(shape, dtype=_FLOAT, buffer=buf, offset=off["buf1"]),
+            ))
+            self._ghosts.append((
+                np.ndarray((n, n), dtype=_FLOAT, buffer=buf,
+                           offset=off["ghost_below"]),
+                np.ndarray((n, n), dtype=_FLOAT, buffer=buf,
+                           offset=off["ghost_above"]),
+            ))
+        self.diffs = np.ndarray(
+            (self.n_shards,), dtype=_FLOAT, buffer=buf, offset=layout[0]["diffs"]
+        )
+        if self._owner:
+            for b0, b1 in self._blocks:
+                b0.fill(0.0)
+                b1.fill(0.0)
+            for gb, ga in self._ghosts:
+                gb.fill(0.0)
+                ga.fill(0.0)
+            self.diffs.fill(0.0)
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec, untrack: bool = False) -> "SharedPlaneArena":
+        """Map an existing arena by name (worker-process side).
+
+        ``untrack`` keeps the attachment out of *this* process's resource
+        tracker.  Pass True only from a process *unrelated* to the
+        creator (whose private tracker would otherwise unlink the
+        segment when this process exits); children of the creator share
+        its tracker, where an unregister here would erase the creator's
+        own registration.
+        """
+        return cls(spec.n, spec.ranges, _attach_spec=spec,
+                   _untrack_attachment=untrack)
+
+    @property
+    def spec(self) -> ArenaSpec:
+        return ArenaSpec(name=self._shm.name, n=self.n, ranges=self.ranges)
+
+    def shard_range(self, shard: int) -> tuple[int, int]:
+        return self.ranges[shard]
+
+    def block(self, shard: int, which: int) -> np.ndarray:
+        """Rotation buffer ``which`` (0 or 1) of ``shard``."""
+        return self._blocks[shard][which]
+
+    def ghost_below(self, shard: int) -> Optional[np.ndarray]:
+        """Ghost plane for ``lo−1``; None when the shard touches z = 0."""
+        lo, _hi = self.ranges[shard]
+        return self._ghosts[shard][0] if lo > 0 else None
+
+    def ghost_above(self, shard: int) -> Optional[np.ndarray]:
+        """Ghost plane for ``hi``; None when the shard touches z = n−1."""
+        _lo, hi = self.ranges[shard]
+        return self._ghosts[shard][1] if hi < self.n else None
+
+    def close(self) -> None:
+        """Drop this mapping; the creator also unlinks the segment."""
+        if self._shm is None:
+            return
+        # Views pin the exported buffer: release them before unmapping.
+        self._blocks = []
+        self._ghosts = []
+        self.diffs = None
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            import gc
+
+            gc.collect()
+            shm.close()
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedPlaneArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Keep an attachment out of this process's resource tracker.
+
+    Only the creating process owns the segment's lifetime; without this,
+    an attaching process (< 3.13) with a *private* tracker would also
+    register it and unlink it when that process exits.
+    """
+    try:  # pragma: no cover - CPython implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass

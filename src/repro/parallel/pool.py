@@ -1,0 +1,212 @@
+"""Persistent worker processes executing ``block_sweep`` over arena views.
+
+A :class:`ShardPool` starts ``n_workers`` processes and assigns each a
+contiguous group of shards.  Each worker attaches the shared arena,
+rebuilds its problem instance from the ``(kind, n)`` spec (problem data
+is deterministic — nothing large crosses a pipe), constructs one
+:class:`~repro.numerics.kernels.SweepWorkspace` per owned shard, and
+then serves sweep commands until closed:
+
+    ("sweep", shard, flip, order)  →  ("done", shard, diff)
+
+``flip`` names which rotation buffer currently holds the iterate; the
+worker reads ``block(shard, flip)``, overwrites ``block(shard, 1−flip)``
+and stores the max-norm diff both in the reply and in the arena's diff
+slot.  Commands to one worker are served strictly in order; commands to
+different workers run concurrently — that is the whole point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..numerics.blocks import partition_planes
+from .arena import ArenaSpec, SharedPlaneArena
+
+__all__ = ["ShardPool"]
+
+#: Environment override for the multiprocessing start method ("fork",
+#: "spawn", "forkserver").  On Linux the default is fork — workers
+#: inherit the imported numpy/repro modules instead of re-importing
+#: them.  Elsewhere the platform default stands: macOS in particular
+#: made spawn its default because forking a process with loaded system
+#: frameworks (Accelerate BLAS included) can deadlock the child.
+_START_METHOD_ENV = "REPRO_MP_START"
+
+
+def _start_method(explicit: Optional[str]) -> Optional[str]:
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(_START_METHOD_ENV)
+    if env:
+        return env
+    if sys.platform.startswith("linux"):
+        return "fork"
+    return None  # the platform's own default
+
+
+def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
+                 delta: float, shards: Sequence[int],
+                 untrack: bool) -> None:
+    """Worker body: attach, build workspaces, serve sweeps until close."""
+    # Imported here (not at module top): the solvers package imports the
+    # runner, so a top-level import would be circular — and under fork
+    # the modules are already in the child anyway.
+    from ..numerics.kernels import SweepWorkspace, block_sweep
+    from ..solvers.distributed_richardson import get_problem
+
+    arena = SharedPlaneArena.attach(arena_spec, untrack=untrack)
+    try:
+        problem = get_problem(problem_kind, arena.n)
+        workspaces = {}
+        for shard in shards:
+            lo, hi = arena.shard_range(shard)
+            workspaces[shard] = SweepWorkspace(problem, delta, lo=lo, hi=hi)
+        conn.send(("ready", sorted(shards)))
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "close":
+                break
+            if cmd[0] == "ping":
+                conn.send(("pong",))
+                continue
+            if cmd[0] != "sweep":  # pragma: no cover - protocol guard
+                conn.send(("error", None, f"unknown command {cmd[0]!r}"))
+                continue
+            _tag, shard, flip, order = cmd
+            try:
+                ws = workspaces[shard]
+                diff = block_sweep(
+                    ws,
+                    arena.block(shard, flip),
+                    arena.block(shard, 1 - flip),
+                    arena.ghost_below(shard),
+                    arena.ghost_above(shard),
+                    order=order,
+                )
+                arena.diffs[shard] = diff
+                conn.send(("done", shard, diff))
+            except Exception as err:  # surface, don't die silently
+                conn.send(("error", shard, repr(err)))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        arena.close()
+        conn.close()
+
+
+class ShardPool:
+    """Worker processes serving sweeps for the shards of one arena."""
+
+    def __init__(self, arena: SharedPlaneArena, problem_kind: str,
+                 delta: float, n_workers: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        # First thing, so close() — and the __del__ safety net — work on
+        # a pool that fails anywhere in construction.
+        self._closed = False
+        self._conns = []
+        self._procs = []
+        self._stash: list[dict[int, float]] = []
+        n_shards = arena.n_shards
+        if n_workers is None:
+            n_workers = min(n_shards, os.cpu_count() or 1)
+        if not 1 <= n_workers <= n_shards:
+            raise ValueError(
+                f"n_workers must be in [1, {n_shards}], got {n_workers}"
+            )
+        self.n_workers = n_workers
+        method = _start_method(start_method)
+        self._ctx = multiprocessing.get_context(method)
+        # Children of every start method inherit the creator's
+        # resource-tracker process (fork shares the fd, spawn passes it
+        # in the preparation data), and its registration set is
+        # idempotent — so workers neither double-track the segment nor
+        # may unregister it out from under the creator.
+        untrack = False
+        self._owner: list[int] = [0] * n_shards
+        # Contiguous shard groups, balanced by the same apportionment as
+        # the plane partitioner: neighbouring shards land on the same
+        # worker where possible.
+        groups = [list(r) for r in partition_planes(n_shards, n_workers)]
+        for w, group in enumerate(groups):
+            for shard in group:
+                self._owner[shard] = w
+        for w, group in enumerate(groups):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child, arena.spec, problem_kind, delta, group, untrack),
+                name=f"repro-shard-worker-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+            self._stash.append({})
+        try:
+            for w, conn in enumerate(self._conns):
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"worker {w} died before reporting ready"
+                    ) from None
+                if msg[0] != "ready":
+                    raise RuntimeError(f"worker {w} failed to start: {msg!r}")
+        except BaseException:
+            # Shut down whatever did start; leave no orphaned workers.
+            self.close()
+            raise
+
+    def owner(self, shard: int) -> int:
+        """Which worker serves ``shard``."""
+        return self._owner[shard]
+
+    def submit(self, shard: int, flip: int, order: str) -> None:
+        """Queue one sweep of ``shard``; pair with :meth:`collect`."""
+        self._conns[self._owner[shard]].send(("sweep", shard, flip, order))
+
+    def collect(self, shard: int) -> float:
+        """Block until ``shard``'s oldest outstanding sweep finishes."""
+        w = self._owner[shard]
+        stash = self._stash[w]
+        if shard in stash:
+            return stash.pop(shard)
+        conn = self._conns[w]
+        while True:
+            msg = conn.recv()
+            if msg[0] == "error":
+                raise RuntimeError(
+                    f"worker {w} failed sweeping shard {msg[1]}: {msg[2]}"
+                )
+            _tag, done_shard, diff = msg
+            if done_shard == shard:
+                return diff
+            stash[done_shard] = diff
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for conn in self._conns:
+            conn.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

@@ -1,0 +1,281 @@
+"""Driving sharded sweeps: the bridge between kernels, workers and DES.
+
+:class:`ParallelBlockRunner` owns one :class:`SharedPlaneArena` plus one
+:class:`ShardPool` and exposes exactly the operations the solver layer
+and the benchmarks need:
+
+- ``sweep(shard)`` — one relaxation of one shard in its worker process
+  (what a DES-resident peer calls from ``BlockState.sweep``);
+- ``submit_sweep``/``wait_sweep`` — the split-phase flavour;
+- ``sweep_all()`` — one relaxation step of *every* shard, concurrently
+  across workers: wall-clock scales with cores while the per-shard
+  numerics stay bit-identical to the inline kernels;
+- ``block``/``first_plane``/``last_plane``/``set_ghost_*`` — the views
+  the DES-modeled ``P2P_Send``/``P2P_Receive`` path reads boundary
+  planes from and writes received (possibly delayed, eq. (5)) iterates
+  into;
+- ``exchange_ghosts()`` — the in-arena shortcut used when the runner
+  iterates standalone (benchmarks, equivalence tests), equivalent to a
+  zero-latency synchronous exchange.
+
+The solver acquires one *shared* runner per distributed solve through
+:func:`acquire_shared_runner` (every simulated peer lives in the one
+driver process, but each owns a different shard), and releases it when
+its sub-task completes; the last release shuts the pool down and unlinks
+the shared memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .arena import SharedPlaneArena
+from .pool import ShardPool
+
+__all__ = [
+    "ParallelBlockRunner",
+    "acquire_shared_runner",
+    "release_shared_runner",
+]
+
+
+class ParallelBlockRunner:
+    """Sharded sweep executor over shared-memory planes."""
+
+    def __init__(self, problem_kind: str, n: int,
+                 ranges: Optional[Sequence[tuple[int, int]]] = None,
+                 n_shards: Optional[int] = None,
+                 delta: Optional[float] = None,
+                 n_workers: Optional[int] = None,
+                 order: str = "gauss_seidel",
+                 start_method: Optional[str] = None):
+        from ..numerics.blocks import partition_planes
+        from ..solvers.distributed_richardson import get_problem
+
+        if ranges is None:
+            if n_shards is None:
+                raise ValueError("pass either ranges or n_shards")
+            ranges = [(r.start, r.stop) for r in partition_planes(n, n_shards)]
+        self.problem = get_problem(problem_kind, n)
+        self.problem_kind = problem_kind
+        self.n = n
+        self.delta = float(delta) if delta is not None else \
+            self.problem.jacobi_delta()
+        self.order = order
+        self.arena = SharedPlaneArena(n, ranges)
+        self.n_shards = self.arena.n_shards
+        self._flip = [0] * self.n_shards
+        self._pending: set[int] = set()
+        self._range_index = {r: k for k, r in enumerate(self.arena.ranges)}
+        # Feasible start + matching ghosts, exactly as BlockState does.
+        u0 = self.problem.feasible_start()
+        for k, (lo, hi) in enumerate(self.arena.ranges):
+            np.copyto(self.arena.block(k, 0), u0[lo:hi])
+            if lo > 0:
+                np.copyto(self.arena.ghost_below(k), u0[lo - 1])
+            if hi < n:
+                np.copyto(self.arena.ghost_above(k), u0[hi])
+        try:
+            self.pool = ShardPool(
+                self.arena, problem_kind, self.delta,
+                n_workers=n_workers, start_method=start_method,
+            )
+        except BaseException:
+            self.arena.close()
+            raise
+        self._closed = False
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    def shard_for(self, lo: int, hi: int) -> int:
+        """The shard owning exactly planes ``[lo, hi)``."""
+        try:
+            return self._range_index[(lo, hi)]
+        except KeyError:
+            raise LookupError(
+                f"no shard covers [{lo}, {hi}); shards: {self.arena.ranges}"
+            ) from None
+
+    # -- plane access (driver-process side) ----------------------------------------
+
+    def block(self, shard: int) -> np.ndarray:
+        """The shard's *current* iterate (rotation-aware view)."""
+        self._check_idle(shard)
+        return self.arena.block(shard, self._flip[shard])
+
+    def first_plane(self, shard: int) -> np.ndarray:
+        """U_f(k): boundary sub-block sent to node k−1."""
+        return self.block(shard)[0]
+
+    def last_plane(self, shard: int) -> np.ndarray:
+        """U_l(k): boundary sub-block sent to node k+1."""
+        return self.block(shard)[-1]
+
+    def ghost_below(self, shard: int) -> Optional[np.ndarray]:
+        return self.arena.ghost_below(shard)
+
+    def ghost_above(self, shard: int) -> Optional[np.ndarray]:
+        return self.arena.ghost_above(shard)
+
+    def set_ghost_below(self, shard: int, plane: np.ndarray) -> None:
+        """Install a received boundary plane (the P2P_Receive hand-off)."""
+        self._check_idle(shard)
+        ghost = self.arena.ghost_below(shard)
+        if ghost is None:
+            raise RuntimeError("shard touches the domain boundary below")
+        np.copyto(ghost, plane)
+
+    def set_ghost_above(self, shard: int, plane: np.ndarray) -> None:
+        self._check_idle(shard)
+        ghost = self.arena.ghost_above(shard)
+        if ghost is None:
+            raise RuntimeError("shard touches the domain boundary above")
+        np.copyto(ghost, plane)
+
+    def gather(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Assemble the full ``(n, n, n)`` iterate (copies out of shm)."""
+        if out is None:
+            out = np.empty((self.n, self.n, self.n))
+        for k, (lo, hi) in enumerate(self.arena.ranges):
+            np.copyto(out[lo:hi], self.block(k))
+        return out
+
+    def scatter(self, u: np.ndarray) -> None:
+        """Load a full iterate into the shards (and refresh all ghosts)."""
+        if u.shape != (self.n, self.n, self.n):
+            raise ValueError(f"expected {(self.n,) * 3}, got {u.shape}")
+        for k, (lo, hi) in enumerate(self.arena.ranges):
+            np.copyto(self.block(k), u[lo:hi])
+            if lo > 0:
+                np.copyto(self.arena.ghost_below(k), u[lo - 1])
+            if hi < self.n:
+                np.copyto(self.arena.ghost_above(k), u[hi])
+
+    def exchange_ghosts(self) -> None:
+        """Zero-latency synchronous boundary exchange between shards."""
+        for k in range(self.n_shards - 1):
+            np.copyto(self.arena.ghost_below(k + 1), self.last_plane(k))
+            np.copyto(self.arena.ghost_above(k), self.first_plane(k + 1))
+
+    # -- sweeping ----------------------------------------------------------------
+
+    def submit_sweep(self, shard: int, order: Optional[str] = None) -> None:
+        """Queue one relaxation of ``shard`` on its worker (non-blocking).
+
+        Until the matching :meth:`wait_sweep`, the shard's views must not
+        be read or written — the worker owns them.
+        """
+        self._check_open()
+        if shard in self._pending:
+            raise RuntimeError(f"shard {shard} already has a sweep in flight")
+        self._pending.add(shard)
+        self.pool.submit(shard, self._flip[shard], order or self.order)
+
+    def wait_sweep(self, shard: int) -> float:
+        """Block until the queued sweep of ``shard`` completes; rotate
+        buffers; return the shard's max-norm diff."""
+        if shard not in self._pending:
+            raise RuntimeError(f"no sweep in flight for shard {shard}")
+        diff = self.pool.collect(shard)
+        self._pending.discard(shard)
+        self._flip[shard] ^= 1
+        return diff
+
+    def sweep(self, shard: int, order: Optional[str] = None) -> float:
+        """One relaxation of one shard (submit + wait)."""
+        self.submit_sweep(shard, order)
+        return self.wait_sweep(shard)
+
+    def sweep_all(self, order: Optional[str] = None) -> list[float]:
+        """One relaxation of every shard, concurrently across workers."""
+        for shard in range(self.n_shards):
+            self.submit_sweep(shard, order)
+        return [self.wait_sweep(shard) for shard in range(self.n_shards)]
+
+    def step_synchronous(self, order: Optional[str] = None) -> float:
+        """One synchronous distributed step: sweep all shards, then the
+        boundary rendezvous.  Returns the global max-norm diff."""
+        diffs = self.sweep_all(order)
+        self.exchange_ghosts()
+        return max(diffs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("runner is closed")
+
+    def _check_idle(self, shard: int) -> None:
+        if shard in self._pending:
+            raise RuntimeError(
+                f"shard {shard} has a sweep in flight; its views are "
+                "owned by the worker until wait_sweep()"
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        self.arena.close()
+
+    def __enter__(self) -> "ParallelBlockRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# -- shared runners for the DES-resident solver ---------------------------------------
+#
+# Every simulated peer of one distributed solve lives in the same driver
+# process; they share one runner (one arena, one pool) and each drives
+# its own shard.  Reference counting ties the pool's lifetime to the
+# solve: the first peer creates, the last releases.
+
+_shared_lock = threading.Lock()
+_shared: dict[tuple, list] = {}  # key -> [runner, refcount]
+_runner_keys: dict[int, tuple] = {}
+
+
+def acquire_shared_runner(problem_kind: str, n: int,
+                          ranges: Sequence[tuple[int, int]],
+                          delta: float,
+                          n_workers: Optional[int] = None,
+                          start_method: Optional[str] = None,
+                          ) -> ParallelBlockRunner:
+    key = (problem_kind, n, tuple(tuple(r) for r in ranges), float(delta),
+           n_workers, start_method)
+    with _shared_lock:
+        entry = _shared.get(key)
+        if entry is None:
+            runner = ParallelBlockRunner(
+                problem_kind, n, ranges=ranges, delta=delta,
+                n_workers=n_workers, start_method=start_method,
+            )
+            entry = _shared[key] = [runner, 0]
+            _runner_keys[id(runner)] = key
+        entry[1] += 1
+        return entry[0]
+
+
+def release_shared_runner(runner: ParallelBlockRunner) -> None:
+    """Drop one reference; the last reference closes pool + arena."""
+    with _shared_lock:
+        key = _runner_keys.get(id(runner))
+        if key is None:
+            runner.close()
+            return
+        entry = _shared[key]
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del _shared[key]
+            del _runner_keys[id(runner)]
+            runner.close()

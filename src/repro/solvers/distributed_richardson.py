@@ -90,6 +90,22 @@ def clear_problem_cache() -> None:
     _problem_cache.clear()
 
 
+def assignment_from_params(params, n: int, n_peers: int) -> BlockAssignment:
+    """The plane assignment a solve's params determine.
+
+    Deterministic and shared by ``problem_definition`` (to cut subtasks)
+    and the process-executor path in ``_BlockSolver`` (to key the shared
+    runner) — subtasks then only need to carry each peer's own range.
+    """
+    weights = params.get("weights")
+    if weights is not None:
+        assignment = BlockAssignment.weighted(n, list(weights))
+        if assignment.n_nodes != n_peers:
+            raise ValueError("weights length must equal n_peers")
+        return assignment
+    return BlockAssignment.balanced(n, n_peers)
+
+
 @dataclasses.dataclass
 class BlockReport:
     """One peer's result: its block plus counters."""
@@ -157,13 +173,12 @@ class ObstacleApplication(Application):
         n = int(params["n"])
         n_peers = int(params.get("n_peers", 1))
         scheme = Scheme.parse(params.get("scheme", "hybrid"))
-        weights = params.get("weights")
-        if weights is not None:
-            assignment = BlockAssignment.weighted(n, list(weights))
-            if assignment.n_nodes != n_peers:
-                raise ValueError("weights length must equal n_peers")
-        else:
-            assignment = BlockAssignment.balanced(n, n_peers)
+        assignment = assignment_from_params(params, n, n_peers)
+        # Subtasks deliberately carry only this peer's own range: the
+        # full assignment is deterministic from the params every peer
+        # already holds (the process-executor path recomputes it), and
+        # shipping it would inflate every modeled SUBTASK dispatch by
+        # O(α) bytes.
         subtasks = [
             {"lo": r.start, "hi": r.stop, "n": n}
             for r in assignment.ranges
@@ -171,9 +186,17 @@ class ObstacleApplication(Application):
         return ProblemDefinition(subtasks=subtasks, scheme=scheme, n_peers=n_peers)
 
     def calculate(self, ctx: TaskContext):
+        # _BlockSolver.__init__ cleans up after itself on failure, so a
+        # constructed solver is the only thing to guard here.  Errors
+        # and aborts must still release the shared sweep runner, or its
+        # worker pool + shm segment leak (and the registry entry poisons
+        # the next identical solve).
         solver = _BlockSolver(ctx)
-        report = yield from solver.run()
-        return report
+        try:
+            report = yield from solver.run()
+            return report
+        finally:
+            solver.close()
 
     def results_aggregation(self, results) -> DistributedSolveReport:
         reports: list[BlockReport] = sorted(results, key=lambda r: r.rank)
@@ -239,45 +262,85 @@ class _BlockSolver:
         self._last_send: dict[int, float] = {}
         self.problem = get_problem(self.kind, self.n)
         sub = ctx.subtask
-        self.state = BlockState(
-            problem=self.problem, lo=sub["lo"], hi=sub["hi"],
-            delta=float(params.get("delta", self.problem.jacobi_delta())),
-            local_sweep=params.get("local_sweep", "gauss_seidel"),
-        )
-        warm = sub.get("warm_start")
-        if warm is not None:
-            self.state.warm_start(np.asarray(warm))
-        self.rank = ctx.rank
-        self.left = self.rank - 1 if self.rank > 0 else None
-        self.right = self.rank + 1 if self.rank + 1 < ctx.n_workers else None
-        self.scheme = ctx.scheme
-        # Counters.
-        self.sweeps = 0
-        self.wait_time = 0.0
-        self.sends = 0
-        self.receives = 0
-        self.stopped = False
-        self.stop_info: Optional[int] = None
-        self.local_diff = float("inf")
-        # Termination machinery.
-        self.exact_mode = self.scheme is Scheme.SYNCHRONOUS
-        self.criterion = DiffCriterion(self.tol, consecutive=self.streak)
-        self.locally_converged = False
-        # In-flight verification round: [epoch, async-neighbours whose
-        # fresh ghost we must still observe, diff-stayed-below-tol].
-        # Answering only after seeing *fresh* neighbour data rules out
-        # "converged on stale ghosts" false positives.
-        self._verify_pending: Optional[list] = None
-        self.coordinator = None
-        if self.rank == 0 and ctx.n_workers > 1:
-            self.coordinator = (
-                ExactCoordinator(ctx.n_workers, self.tol)
-                if self.exact_mode else StreakCoordinator(ctx.n_workers)
+        delta = float(params.get("delta", self.problem.jacobi_delta()))
+        # Sweep executor: "inline" (default) runs the fused kernels in
+        # this process; "process" runs them in a shared worker pool over
+        # shared-memory planes (repro.parallel).  Peers of one solve all
+        # live in the driver process, so they share one runner and each
+        # drives its own shard.  Mode and termination logic above this
+        # line never see the difference — the iterates are identical.
+        self.executor = str(params.get("executor", "inline"))
+        if self.executor not in ("inline", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        self._runner = None
+        shard = None
+        if self.executor == "process":
+            from ..parallel import acquire_shared_runner
+
+            # Recompute the full assignment (deterministic from the
+            # params every peer holds) instead of shipping it in each
+            # subtask: all peers derive the same ranges, so they share
+            # one runner keyed by them.
+            assignment = assignment_from_params(params, self.n, ctx.n_workers)
+            ranges = [(r.start, r.stop) for r in assignment.ranges]
+            if ranges[ctx.rank] != (sub["lo"], sub["hi"]):
+                raise ValueError(
+                    f"subtask range {(sub['lo'], sub['hi'])} does not match "
+                    f"the recomputed assignment {ranges[ctx.rank]}"
+                )
+            workers = params.get("executor_workers")
+            self._runner = acquire_shared_runner(
+                self.kind, self.n,
+                ranges=ranges, delta=delta,
+                n_workers=int(workers) if workers is not None else None,
+                start_method=params.get("executor_start_method"),
             )
-        # OML instrumentation.
-        self.mp = ctx.oml.define(
-            "relaxation", ["rank", "sweep", "diff"]
-        )
+            shard = ctx.rank
+        try:
+            self.state = BlockState(
+                problem=self.problem, lo=sub["lo"], hi=sub["hi"],
+                delta=delta,
+                local_sweep=params.get("local_sweep", "gauss_seidel"),
+                executor=self.executor, runner=self._runner, shard=shard,
+            )
+            warm = sub.get("warm_start")
+            if warm is not None:
+                self.state.warm_start(np.asarray(warm))
+            self.rank = ctx.rank
+            self.left = self.rank - 1 if self.rank > 0 else None
+            self.right = self.rank + 1 if self.rank + 1 < ctx.n_workers else None
+            self.scheme = ctx.scheme
+            # Counters.
+            self.sweeps = 0
+            self.wait_time = 0.0
+            self.sends = 0
+            self.receives = 0
+            self.stopped = False
+            self.stop_info: Optional[int] = None
+            self.local_diff = float("inf")
+            # Termination machinery.
+            self.exact_mode = self.scheme is Scheme.SYNCHRONOUS
+            self.criterion = DiffCriterion(self.tol, consecutive=self.streak)
+            self.locally_converged = False
+            # In-flight verification round: [epoch, async-neighbours whose
+            # fresh ghost we must still observe, diff-stayed-below-tol].
+            # Answering only after seeing *fresh* neighbour data rules out
+            # "converged on stale ghosts" false positives.
+            self._verify_pending: Optional[list] = None
+            self.coordinator = None
+            if self.rank == 0 and ctx.n_workers > 1:
+                self.coordinator = (
+                    ExactCoordinator(ctx.n_workers, self.tol)
+                    if self.exact_mode else StreakCoordinator(ctx.n_workers)
+                )
+            # OML instrumentation.
+            self.mp = ctx.oml.define(
+                "relaxation", ["rank", "sweep", "diff"]
+            )
+        except BaseException:
+            # Nothing past the acquire may leak the shared runner.
+            self.close()
+            raise
 
     # -- main loop ----------------------------------------------------------------
 
@@ -529,15 +592,26 @@ class _BlockSolver:
 
     # -- result -------------------------------------------------------------------------
 
+    def close(self) -> None:
+        """Release the shared sweep runner (idempotent); the last peer
+        out closes the pool and unlinks the arena."""
+        if self._runner is not None:
+            from ..parallel import release_shared_runner
+
+            release_shared_runner(self._runner)
+            self._runner = None
+
     def _report(self) -> BlockReport:
         converged_at = self.stop_info
         if self.exact_mode and isinstance(self.stop_info, int):
             converged_at = self.stop_info
+        block = self.state.export_block()
+        self.close()
         report = BlockReport(
             rank=self.rank,
             lo=self.state.lo,
             hi=self.state.hi,
-            block=self.state.block,
+            block=block,
             relaxations=self.sweeps,
             converged_at=converged_at,
             wait_time=self.wait_time,

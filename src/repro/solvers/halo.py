@@ -48,7 +48,19 @@ def relax_block_plane(
 
 @dataclasses.dataclass
 class BlockState:
-    """A peer's share of the iterate, with ghosts."""
+    """A peer's share of the iterate, with ghosts.
+
+    ``executor`` selects where the sweep's numerics run:
+
+    - ``"inline"`` (default): the fused kernels execute in this process
+      over privately-owned buffers;
+    - ``"process"``: block, ghosts, and rotation buffer live in a
+      :class:`~repro.parallel.SharedPlaneArena` and each sweep executes
+      in the :class:`~repro.parallel.ParallelBlockRunner`'s worker pool.
+      The two paths run the same kernels over the same float64 layout,
+      so their iterates, diffs — and hence relaxation counts and
+      termination decisions — are identical.
+    """
 
     problem: ObstacleProblem
     lo: int
@@ -65,13 +77,42 @@ class BlockState:
     #: and its relaxation count exactly independent of α.
     local_sweep: str = "gauss_seidel"
 
+    #: "inline" or "process".
+    executor: str = "inline"
+    #: The shared :class:`~repro.parallel.ParallelBlockRunner` (process
+    #: executor only); this state does not own it.
+    runner: Optional[object] = None
+    #: Shard index within the runner (derived from [lo, hi) if omitted).
+    shard: Optional[int] = None
+
     def __post_init__(self) -> None:
         n = self.problem.grid.n
         if not 0 <= self.lo < self.hi <= n:
             raise ValueError(f"invalid plane range [{self.lo}, {self.hi})")
         if self.local_sweep not in ("gauss_seidel", "jacobi"):
             raise ValueError(f"unknown local sweep {self.local_sweep!r}")
+        if self.executor not in ("inline", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
         u0 = self.problem.feasible_start()
+        if self.executor == "process":
+            if self.runner is None:
+                raise ValueError("process executor needs a runner")
+            if self.shard is None:
+                self.shard = self.runner.shard_for(self.lo, self.hi)
+            # Block and ghosts are views into the runner's shared arena;
+            # (re)seed them so repeated solves start from u0 regardless
+            # of what a previous user of the arena left behind.
+            self.block = self.runner.block(self.shard)
+            np.copyto(self.block, u0[self.lo:self.hi])
+            self.ghost_below = self.runner.ghost_below(self.shard)
+            self.ghost_above = self.runner.ghost_above(self.shard)
+            if self.ghost_below is not None:
+                np.copyto(self.ghost_below, u0[self.lo - 1])
+            if self.ghost_above is not None:
+                np.copyto(self.ghost_above, u0[self.hi])
+            self._workspace = None
+            self._next_block = None
+            return
         self.block = u0[self.lo:self.hi].copy()
         self.ghost_below = u0[self.lo - 1].copy() if self.lo > 0 else None
         self.ghost_above = u0[self.hi].copy() if self.hi < n else None
@@ -117,7 +158,20 @@ class BlockState:
         """One relaxation of all owned sub-blocks, sequentially (the
         in-node Gauss–Seidel order of the paper); returns the local
         max-norm change."""
+        if self.executor == "process":
+            diff = self.runner.sweep(self.shard, order=self.local_sweep)
+            # The worker rotated the arena buffers; re-aim our view.
+            self.block = self.runner.block(self.shard)
+            return diff
         return sweep_block(self)
+
+    def export_block(self) -> np.ndarray:
+        """The block as an array safe to keep after the solve: the
+        private buffer inline, a copy out of shared memory otherwise
+        (arena memory is unmapped when the runner is released)."""
+        if self.executor == "process":
+            return np.array(self.block)
+        return self.block
 
     def flops(self) -> float:
         """Work of one sweep, for the simulation's compute-cost model."""

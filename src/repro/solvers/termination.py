@@ -51,17 +51,44 @@ class Action:
 
 
 class ExactCoordinator:
-    """Global max-diff aggregation per iteration (synchronous schemes)."""
+    """Global max-diff aggregation per iteration (synchronous schemes).
 
-    def __init__(self, n_peers: int, tol: float):
+    Memory is bounded by pruning every iteration at or below the newest
+    *complete* one (a peer that dies mid-solve must not pin its
+    unfinished iterations forever), and stragglers for pruned iterations
+    are dropped.  The resulting contract, by delivery discipline:
+
+    - *safety, unconditional*: STOP is only ever emitted for an
+      iteration every peer reported below tolerance;
+    - *exactness* (STOP at the **first** such iteration) additionally
+      needs each peer's reports delivered in the order produced — true
+      on the simulator in practice, but a lossy link whose per-message
+      retransmits reorder reports can delay the detected stop point to
+      a later below-tolerance iteration (the price of bounded memory:
+      exactness under arbitrary reordering would require retaining
+      every incomplete iteration indefinitely).
+
+    A peer that dies *permanently* leaves every later iteration
+    incomplete, so completion-driven pruning alone would still grow
+    without bound; ``max_pending`` caps the retained window (oldest
+    incomplete iterations are evicted first).  In-flight depth under
+    FIFO is tiny compared to the default window, so the cap never
+    affects a live system — it only bounds the pathological one.
+    """
+
+    def __init__(self, n_peers: int, tol: float, max_pending: int = 1024):
         if n_peers < 1:
             raise ValueError("n_peers must be >= 1")
         if tol <= 0:
             raise ValueError("tol must be positive")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.n_peers = n_peers
         self.tol = tol
+        self.max_pending = max_pending
         self._diffs: dict[int, dict[int, float]] = {}
         self.stop_iteration: Optional[int] = None
+        self._newest_complete: Optional[int] = None
 
     def on_diff(self, rank: int, iteration: int, diff: float) -> list[Action]:
         """Feed one report; returns the STOP broadcast when decided."""
@@ -69,6 +96,10 @@ class ExactCoordinator:
             return []
         if not math.isfinite(diff):
             raise ValueError(f"non-finite diff from rank {rank}")
+        if self._newest_complete is not None and iteration <= self._newest_complete:
+            # Straggler report for an iteration already pruned below:
+            # it can never become the stop point, drop it outright.
+            return []
         per_iter = self._diffs.setdefault(iteration, {})
         per_iter[rank] = diff
         if len(per_iter) == self.n_peers and max(per_iter.values()) < self.tol:
@@ -76,10 +107,19 @@ class ExactCoordinator:
             # Old bookkeeping is garbage now.
             self._diffs.clear()
             return [Action(None, ("STOP", iteration))]
-        # Bound memory: iterations older than a decided one can be dropped
-        # once complete and above tolerance.
+        # Bound memory: once an iteration completes above tolerance,
+        # *every* iteration at or below it is garbage — including the
+        # incomplete ones, whose missing reports (a peer died, a DIFF was
+        # lost) would otherwise be retained forever.
         if len(per_iter) == self.n_peers:
-            del self._diffs[iteration]
+            self._newest_complete = iteration
+            for stale in [it for it in self._diffs if it <= iteration]:
+                del self._diffs[stale]
+        # A permanently-dead peer completes nothing, so cap the pending
+        # window too (evicting oldest-first keeps the likeliest-complete
+        # iterations).
+        while len(self._diffs) > self.max_pending:
+            del self._diffs[min(self._diffs)]
         return []
 
 
@@ -127,6 +167,23 @@ class StreakCoordinator:
             self.stopped = True
             return [Action(None, ("STOP", self.epoch))]
         return []
+
+    def on_timeout(self) -> list[Action]:
+        """Recovery poke for lossy transports: re-poll a wedged verify
+        round (lost ACKs would otherwise hold it open forever).
+
+        The re-poll opens a *fresh epoch* rather than re-asking the
+        current one: every ACK a STOP is assembled from must answer one
+        single poll instant, and mixing a stale in-flight ACK with
+        re-polled ones could certify convergence no instant ever had.
+        Harmless no-op outside a verify round; the simulator's reliable
+        env bus never needs it, but callers on real networks should arm
+        it behind an idle timer."""
+        if self.stopped or self.phase != "verify":
+            return []
+        self.epoch += 1
+        self._acks = {}
+        return [Action(None, ("VERIFY", self.epoch))]
 
     def _fail_verification(self) -> list[Action]:
         self.stats_failed_verifications += 1

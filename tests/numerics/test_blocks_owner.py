@@ -1,0 +1,60 @@
+"""BlockAssignment.owner: bisection must answer exactly like the scan.
+
+``owner`` runs once per exchanged plane on the solver's hot path; it was
+an O(α) linear scan, now an O(log α) bisect over precomputed range
+starts.  These tests pin the two implementations to identical answers.
+"""
+
+import random
+
+import pytest
+
+from repro.numerics.blocks import BlockAssignment
+
+
+def owner_by_scan(assignment: BlockAssignment, plane: int) -> int:
+    """The original linear-scan implementation (reference oracle)."""
+    for k, r in enumerate(assignment.ranges):
+        if plane in r:
+            return k
+    raise IndexError(f"plane {plane} out of range")
+
+
+@pytest.mark.parametrize("n_planes,n_nodes", [
+    (1, 1), (5, 2), (12, 3), (12, 12), (97, 7), (144, 13),
+])
+def test_balanced_owner_matches_scan_everywhere(n_planes, n_nodes):
+    a = BlockAssignment.balanced(n_planes, n_nodes)
+    for plane in range(n_planes):
+        assert a.owner(plane) == owner_by_scan(a, plane)
+
+
+def test_weighted_owner_matches_scan_everywhere():
+    rng = random.Random(42)
+    for _ in range(25):
+        n_nodes = rng.randint(1, 12)
+        n_planes = rng.randint(n_nodes, 200)
+        weights = [rng.uniform(0.1, 10.0) for _ in range(n_nodes)]
+        a = BlockAssignment.weighted(n_planes, weights)
+        for plane in range(n_planes):
+            assert a.owner(plane) == owner_by_scan(a, plane)
+
+
+def test_out_of_range_raises_index_error():
+    a = BlockAssignment.balanced(10, 3)
+    with pytest.raises(IndexError):
+        a.owner(10)
+    with pytest.raises(IndexError):
+        a.owner(-1)
+    with pytest.raises(IndexError):
+        a.owner(99)
+
+
+def test_boundary_planes():
+    a = BlockAssignment.balanced(10, 3)  # [0..3], [4..6], [7..9]
+    assert a.owner(0) == 0
+    assert a.owner(3) == 0
+    assert a.owner(4) == 1
+    assert a.owner(6) == 1
+    assert a.owner(7) == 2
+    assert a.owner(9) == 2

@@ -300,3 +300,51 @@ class TestWorkspaceContract:
         problem = membrane_problem(5)
         ws = SweepWorkspace(problem, problem.jacobi_delta())
         assert ws.db is None
+
+
+class TestSlabOverride:
+    """REPRO_SLAB_BYTES corrects the fixed L2 guess without source edits."""
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLAB_BYTES", raising=False)
+        problem = membrane_problem(16)
+        ws = SweepWorkspace(problem, problem.jacobi_delta())
+        assert ws.slab == 16  # 16³ fits the default 1 MiB target
+
+    def test_small_target_shrinks_slabs(self, monkeypatch):
+        problem = membrane_problem(16)
+        # 3 slab-arrays of 16² float64 planes no longer fit: 2 planes min.
+        monkeypatch.setenv("REPRO_SLAB_BYTES", "4096")
+        ws = SweepWorkspace(problem, problem.jacobi_delta())
+        assert ws.slab == 2
+        # Hex spelling accepted too.
+        monkeypatch.setenv("REPRO_SLAB_BYTES", "0x1000")
+        assert SweepWorkspace(problem, problem.jacobi_delta()).slab == 2
+
+    def test_override_does_not_change_results(self, monkeypatch):
+        problem = membrane_problem(8)
+        delta = problem.jacobi_delta()
+        u = problem.feasible_start()
+        monkeypatch.delenv("REPRO_SLAB_BYTES", raising=False)
+        ws_default = SweepWorkspace(problem, delta)
+        want = ws_default.rotation_buffer()
+        jacobi_sweep(ws_default, u, want)
+        monkeypatch.setenv("REPRO_SLAB_BYTES", "2048")
+        ws_small = SweepWorkspace(problem, delta)
+        assert ws_small.slab < ws_default.slab
+        got = ws_small.rotation_buffer()
+        jacobi_sweep(ws_small, u, got)
+        np.testing.assert_array_equal(got, want)
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        problem = membrane_problem(8)
+        for bad in ("not-a-number", "1.5e6", "0", "-4096", "12MB"):
+            monkeypatch.setenv("REPRO_SLAB_BYTES", bad)
+            with pytest.raises(ValueError, match="REPRO_SLAB_BYTES"):
+                SweepWorkspace(problem, problem.jacobi_delta())
+
+    def test_explicit_slab_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLAB_BYTES", "4096")
+        problem = membrane_problem(16)
+        ws = SweepWorkspace(problem, problem.jacobi_delta(), slab=5)
+        assert ws.slab == 5

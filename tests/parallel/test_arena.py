@@ -1,0 +1,89 @@
+"""SharedPlaneArena: layout, attachment, lifecycle."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import ArenaSpec, SharedPlaneArena
+
+
+class TestLayout:
+    def test_views_have_block_shapes(self):
+        with SharedPlaneArena(8, [(0, 3), (3, 8)]) as arena:
+            assert arena.block(0, 0).shape == (3, 8, 8)
+            assert arena.block(1, 1).shape == (5, 8, 8)
+            assert arena.ghost_above(0).shape == (8, 8)
+            assert arena.diffs.shape == (2,)
+
+    def test_boundary_ghosts_are_none(self):
+        with SharedPlaneArena(6, [(0, 3), (3, 6)]) as arena:
+            assert arena.ghost_below(0) is None
+            assert arena.ghost_above(1) is None
+            assert arena.ghost_above(0) is not None
+            assert arena.ghost_below(1) is not None
+
+    def test_arrays_zero_initialized_and_disjoint(self):
+        with SharedPlaneArena(6, [(0, 6)]) as arena:
+            assert not arena.block(0, 0).any()
+            arena.block(0, 0).fill(1.0)
+            arena.block(0, 1).fill(2.0)
+            arena.ghost_below(0)
+            arena.diffs[0] = 3.0
+            # No overlap: each array still holds its own value.
+            assert (arena.block(0, 0) == 1.0).all()
+            assert (arena.block(0, 1) == 2.0).all()
+            assert arena.diffs[0] == 3.0
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            SharedPlaneArena(6, [(0, 3), (4, 6)])  # gap
+        with pytest.raises(ValueError):
+            SharedPlaneArena(6, [(0, 3)])  # undercover
+        with pytest.raises(ValueError):
+            SharedPlaneArena(6, [])
+
+
+class TestAttachment:
+    def test_attachment_sees_creator_writes(self):
+        with SharedPlaneArena(6, [(0, 2), (2, 6)]) as arena:
+            arena.block(1, 0)[:] = 7.5
+            arena.diffs[1] = 0.25
+            other = SharedPlaneArena.attach(arena.spec)
+            try:
+                assert (other.block(1, 0) == 7.5).all()
+                assert other.diffs[1] == 0.25
+                other.block(0, 1)[:] = -1.0
+                assert (arena.block(0, 1) == -1.0).all()
+            finally:
+                other.close()
+
+    def test_spec_is_picklable(self):
+        with SharedPlaneArena(4, [(0, 4)]) as arena:
+            spec = pickle.loads(pickle.dumps(arena.spec))
+            assert spec == arena.spec
+            assert isinstance(spec, ArenaSpec)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        arena = SharedPlaneArena(4, [(0, 4)])
+        arena.close()
+        arena.close()
+
+    def test_segment_unlinked_after_owner_close(self):
+        arena = SharedPlaneArena(4, [(0, 4)])
+        spec = arena.spec
+        arena.close()
+        with pytest.raises(FileNotFoundError):
+            SharedPlaneArena.attach(spec)
+
+    def test_attachment_close_does_not_unlink(self):
+        arena = SharedPlaneArena(4, [(0, 4)])
+        try:
+            other = SharedPlaneArena.attach(arena.spec)
+            other.close()
+            again = SharedPlaneArena.attach(arena.spec)
+            again.close()
+        finally:
+            arena.close()

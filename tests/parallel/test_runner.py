@@ -1,0 +1,162 @@
+"""ParallelBlockRunner: process-sharded sweeps vs the inline kernels.
+
+The headline guarantee: a process-sharded sweep matches the in-process
+``block_sweep`` iterate for iterate.  The workers run the same fused
+kernels over the same float64 layout, so we assert *bit* equality —
+strictly inside the repo-wide ≤1e-12 tolerance contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelBlockRunner, acquire_shared_runner, \
+    release_shared_runner
+from repro.solvers.distributed_richardson import get_problem
+from repro.solvers.halo import BlockState
+
+N = 12
+
+
+def make_inline(ranges, order="gauss_seidel", kind="membrane"):
+    problem = get_problem(kind, N)
+    return [
+        BlockState(problem=problem, lo=lo, hi=hi,
+                   delta=problem.jacobi_delta(), local_sweep=order)
+        for lo, hi in ranges
+    ]
+
+
+def exchange_inline(states):
+    for k in range(len(states) - 1):
+        states[k + 1].update_ghost_below(states[k].last_plane.copy())
+        states[k].update_ghost_above(states[k + 1].first_plane.copy())
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("order", ["gauss_seidel", "jacobi"])
+    @pytest.mark.parametrize("ranges", [
+        [(0, N)],
+        [(0, 6), (6, N)],
+        [(0, 5), (5, 8), (8, N)],
+    ])
+    def test_sharded_sweeps_match_inline_bitwise(self, ranges, order):
+        inline = make_inline(ranges, order)
+        with ParallelBlockRunner("membrane", N, ranges=ranges,
+                                 order=order) as runner:
+            for step in range(6):
+                d_inline = [s.sweep() for s in inline]
+                d_proc = runner.sweep_all()
+                assert d_inline == d_proc, f"diff mismatch at step {step}"
+                for k, state in enumerate(inline):
+                    assert np.array_equal(state.block, runner.block(k))
+                exchange_inline(inline)
+                runner.exchange_ghosts()
+
+    def test_worker_count_does_not_change_iterates(self):
+        ranges = [(0, 4), (4, 8), (8, N)]
+        with ParallelBlockRunner("membrane", N, ranges=ranges,
+                                 n_workers=1) as one, \
+                ParallelBlockRunner("membrane", N, ranges=ranges,
+                                    n_workers=3) as three:
+            for _ in range(4):
+                d1 = one.step_synchronous()
+                d3 = three.step_synchronous()
+                assert d1 == d3
+            assert np.array_equal(one.gather(), three.gather())
+
+    def test_torsion_problem_and_jacobi_order(self):
+        ranges = [(0, 6), (6, N)]
+        inline = make_inline(ranges, order="jacobi", kind="torsion")
+        with ParallelBlockRunner("torsion", N, ranges=ranges,
+                                 order="jacobi") as runner:
+            for _ in range(4):
+                assert [s.sweep() for s in inline] == runner.sweep_all()
+                exchange_inline(inline)
+                runner.exchange_ghosts()
+
+    def test_blockstate_process_executor_matches_inline(self):
+        """BlockState(executor="process") — the solver's integration
+        point — produces the same iterates and diffs as inline."""
+        problem = get_problem("membrane", N)
+        delta = problem.jacobi_delta()
+        ranges = [(0, 6), (6, N)]
+        runner = acquire_shared_runner("membrane", N, ranges=ranges,
+                                       delta=delta)
+        try:
+            proc = [
+                BlockState(problem=problem, lo=lo, hi=hi, delta=delta,
+                           executor="process", runner=runner)
+                for lo, hi in ranges
+            ]
+            inline = make_inline(ranges)
+            for _ in range(5):
+                assert [s.sweep() for s in proc] == \
+                    [s.sweep() for s in inline]
+                exchange_inline(proc)
+                exchange_inline(inline)
+            for p, i in zip(proc, inline):
+                assert np.array_equal(p.export_block(), i.block)
+                assert p.export_block() is not p.block  # a safe copy
+        finally:
+            release_shared_runner(runner)
+
+
+class TestRunnerApi:
+    def test_scatter_gather_roundtrip(self):
+        with ParallelBlockRunner("membrane", N, n_shards=2) as runner:
+            rng = np.random.default_rng(7)
+            u = rng.normal(size=(N, N, N))
+            runner.scatter(u)
+            assert np.array_equal(runner.gather(), u)
+
+    def test_split_phase_api(self):
+        with ParallelBlockRunner("membrane", N, n_shards=2) as runner:
+            runner.submit_sweep(0)
+            runner.submit_sweep(1)
+            with pytest.raises(RuntimeError):
+                runner.submit_sweep(0)  # already in flight
+            with pytest.raises(RuntimeError):
+                runner.block(0)  # views owned by the worker
+            d0 = runner.wait_sweep(0)
+            d1 = runner.wait_sweep(1)
+            assert np.isfinite(d0) and np.isfinite(d1)
+            with pytest.raises(RuntimeError):
+                runner.wait_sweep(0)  # nothing in flight any more
+
+    def test_shard_lookup(self):
+        with ParallelBlockRunner("membrane", N, ranges=[(0, 7), (7, N)]) as r:
+            assert r.shard_for(0, 7) == 0
+            assert r.shard_for(7, N) == 1
+            with pytest.raises(LookupError):
+                r.shard_for(0, N)
+
+    def test_domain_boundary_ghosts(self):
+        with ParallelBlockRunner("membrane", N, n_shards=2) as r:
+            assert r.ghost_below(0) is None
+            assert r.ghost_above(1) is None
+            with pytest.raises(RuntimeError):
+                r.set_ghost_below(0, np.zeros((N, N)))
+
+    def test_diff_slots_recorded_in_arena(self):
+        with ParallelBlockRunner("membrane", N, n_shards=2) as r:
+            diffs = r.sweep_all()
+            assert list(r.arena.diffs) == diffs
+
+    def test_closed_runner_rejects_work(self):
+        r = ParallelBlockRunner("membrane", N, n_shards=2)
+        r.close()
+        r.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            r.sweep(0)
+
+    def test_shared_registry_refcounts(self):
+        problem = get_problem("membrane", N)
+        delta = problem.jacobi_delta()
+        a = acquire_shared_runner("membrane", N, ranges=[(0, N)], delta=delta)
+        b = acquire_shared_runner("membrane", N, ranges=[(0, N)], delta=delta)
+        assert a is b
+        release_shared_runner(a)
+        assert np.isfinite(b.sweep(0))  # still open: one reference left
+        release_shared_runner(b)
+        with pytest.raises(RuntimeError):
+            b.sweep(0)  # last release closed it

@@ -54,6 +54,43 @@ class TestExactCoordinator:
             c.on_diff(1, it, 1.0)
         assert len(c._diffs) == 0  # complete above-tol iterations dropped
 
+    def test_memory_bounded_with_silent_peer(self):
+        """Regression: a peer that dies (or whose DIFFs are lost) used to
+        leave every incomplete iteration's bookkeeping behind forever.
+        Completing any newer iteration must prune all older ones too."""
+        c = ExactCoordinator(n_peers=3, tol=1e-9)
+        for it in range(1, 501):
+            c.on_diff(0, it, 1.0)
+            c.on_diff(1, it, 1.0)
+            # Peer 2 goes silent except for one report in ten.
+            if it % 10 == 0:
+                c.on_diff(2, it, 1.0)
+        # Every iteration ≤ the newest completed one (500) is pruned —
+        # including the 450 incomplete ones peer 2 never reported.
+        assert c._diffs == {}
+
+    def test_memory_bounded_after_peer_dies_permanently(self):
+        """A peer that stops reporting forever leaves every later
+        iteration incomplete; the pending window must cap them."""
+        c = ExactCoordinator(n_peers=2, tol=1e-9, max_pending=64)
+        c.on_diff(1, 1, 1.0)  # peer 1's only report, then it dies
+        for it in range(1, 2001):
+            c.on_diff(0, it, 1.0)
+            assert len(c._diffs) <= 64
+        assert c.stop_iteration is None
+
+    def test_straggler_for_pruned_iteration_dropped(self):
+        """A late report for an iteration at or below the newest
+        completed one must not resurrect pruned bookkeeping."""
+        c = ExactCoordinator(n_peers=2, tol=1e-9)
+        c.on_diff(0, 1, 1.0)  # iteration 1 incomplete (peer 1 silent)
+        c.on_diff(0, 2, 1.0)
+        c.on_diff(1, 2, 1.0)  # iteration 2 completes above tol
+        assert c._diffs == {}
+        assert c.on_diff(1, 1, 1e-12) == []  # straggler: dropped, no STOP
+        assert c._diffs == {}
+        assert c.stop_iteration is None
+
 
 class TestStreakCoordinator:
     def test_verify_round_before_stop(self):

@@ -1,0 +1,218 @@
+"""Termination detectors under adversarial message delivery.
+
+The coordinators are pure message-driven state machines; the transport
+is free to *drop*, *duplicate*, and *reorder* peer→coordinator ``CONV``
+and ``VERIFY_ACK`` traffic.  ``DIFF`` traffic is fuzzed with *loss*
+only: :class:`ExactCoordinator`'s *exactness* (stop at the first
+below-tol iteration) holds under in-order per-peer delivery, while its
+safety and memory bound — what these tests pin — hold under loss too
+(see its docstring for the reordering tradeoff).  Coordinator→peer
+traffic
+(``VERIFY``, ``STOP``) is delivered reliably and promptly — in the
+simulator it rides the reliable env bus; on a real network the
+coordinator re-polls via :meth:`StreakCoordinator.on_timeout`.
+
+Model
+-----
+Peers hold a ground-truth converged/unconverged state.  Honesty: a peer
+answers a VERIFY with an ACK reflecting its state *at that instant*, and
+announces transitions with CONV messages (which the channel may then
+mangle).  Physics: once *every* peer is converged the state is absorbing
+— the asynchronous iteration has reached its fixed point, nobody's data
+can change — which is exactly the property the solver's fresh-ghost
+verification round establishes before a peer acks True.
+
+Asserted properties (seeded, hundreds of adversarial schedules):
+
+- **safety** — STOP is never emitted while any peer is unconverged;
+- **liveness** — once all peers converge and the channel stops eating
+  messages, the coordinator reaches STOP (no deadlock), at worst after
+  ``on_timeout`` re-polls.
+"""
+
+import random
+
+import pytest
+
+from repro.solvers.termination import ExactCoordinator, StreakCoordinator
+
+
+class AdversarialChannel:
+    """Peer→coordinator queue that drops, duplicates, and reorders."""
+
+    def __init__(self, rng: random.Random, lossy: bool = True):
+        self.rng = rng
+        self.queue: list[tuple] = []
+        self.lossy = lossy
+
+    def send(self, item: tuple) -> None:
+        if self.lossy and self.rng.random() < 0.25:
+            return  # dropped
+        copies = 2 if self.rng.random() < 0.2 else 1  # duplicated
+        for _ in range(copies):
+            self.queue.append(item)
+
+    def pop(self):
+        """Deliver a random pending message (reordering)."""
+        if not self.queue:
+            return None
+        return self.queue.pop(self.rng.randrange(len(self.queue)))
+
+
+class Peer:
+    """Ground truth + honest protocol behaviour."""
+
+    def __init__(self, rank: int, channel: AdversarialChannel):
+        self.rank = rank
+        self.converged = False
+        self.channel = channel
+
+    def set_converged(self, value: bool) -> None:
+        if value != self.converged:
+            self.converged = value
+            self.channel.send(("CONV", self.rank, value))
+
+    def on_verify(self, epoch: int) -> None:
+        # ACK reflects the state at poll time; travels the lossy channel.
+        self.channel.send(("VERIFY_ACK", self.rank, epoch, self.converged))
+
+
+class Harness:
+    def __init__(self, n_peers: int, seed: int):
+        self.rng = random.Random(seed)
+        self.channel = AdversarialChannel(self.rng)
+        self.peers = [Peer(r, self.channel) for r in range(n_peers)]
+        self.coordinator = StreakCoordinator(n_peers)
+        self.stopped_at = None
+
+    def all_truly_converged(self) -> bool:
+        return all(p.converged for p in self.peers)
+
+    def dispatch(self, actions) -> None:
+        # VERIFY/STOP go coordinator→peers reliably and promptly.
+        for action in actions:
+            tag = action.body[0]
+            if tag == "VERIFY":
+                for p in self.peers:
+                    p.on_verify(action.body[1])
+            elif tag == "STOP":
+                assert self.stopped_at is None
+                self.stopped_at = action.body[1]
+                # SAFETY: a STOP must never reach an unconverged peer.
+                assert self.all_truly_converged(), \
+                    "STOP emitted while a peer is unconverged"
+
+    def deliver_one(self) -> bool:
+        msg = self.channel.pop()
+        if msg is None:
+            return False
+        if msg[0] == "CONV":
+            self.dispatch(self.coordinator.on_conv(msg[1], msg[2]))
+        else:
+            self.dispatch(self.coordinator.on_verify_ack(msg[1], msg[2], msg[3]))
+        return True
+
+    def mutate_states(self) -> None:
+        """Random honest transitions; all-converged is absorbing."""
+        for p in self.peers:
+            if not p.converged and self.rng.random() < 0.3:
+                p.set_converged(True)
+            elif p.converged and not self.all_truly_converged() \
+                    and self.rng.random() < 0.15:
+                p.set_converged(False)
+
+
+@pytest.mark.parametrize("seed", range(30))
+@pytest.mark.parametrize("n_peers", [1, 2, 4])
+def test_streak_coordinator_safe_and_live_under_adversary(n_peers, seed):
+    h = Harness(n_peers, seed)
+    # Phase 1: adversarial churn — states flip, channel misbehaves, and
+    # impatient timers re-poll mid-chaos.
+    for _ in range(300):
+        if h.coordinator.stopped:
+            break
+        h.mutate_states()
+        if h.rng.random() < 0.7:
+            h.deliver_one()
+        if h.rng.random() < 0.05:
+            h.dispatch(h.coordinator.on_timeout())
+    # Phase 2: convergence — everyone converges for good, the channel
+    # stops losing messages, peers re-announce their state once.
+    h.channel.lossy = False
+    for p in h.peers:
+        p.set_converged(True)
+        h.channel.send(("CONV", p.rank, True))  # refresh announcement
+    # LIVENESS: drain + periodic re-polls must reach STOP.
+    for _round in range(50):
+        if h.coordinator.stopped:
+            break
+        while h.deliver_one():
+            if h.coordinator.stopped:
+                break
+        if not h.coordinator.stopped:
+            # Idle with a pending verify round: the recovery poke a real
+            # deployment arms behind a timer (lost ACKs otherwise wedge
+            # the round forever).
+            h.dispatch(h.coordinator.on_timeout())
+    assert h.coordinator.stopped, f"deadlock (seed={seed}, peers={n_peers})"
+    assert h.all_truly_converged()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_streak_coordinator_never_stops_while_one_peer_never_converges(seed):
+    """A permanently-unconverged peer must hold off STOP through any
+    amount of CONV/ACK mangling from the others."""
+    h = Harness(4, seed)
+    holdout = h.peers[0]
+    for _ in range(400):
+        for p in h.peers[1:]:
+            if not p.converged and h.rng.random() < 0.4:
+                p.set_converged(True)
+            elif p.converged and h.rng.random() < 0.1:
+                p.set_converged(False)
+        # Adversary replays the holdout's stale announcements too.
+        if h.rng.random() < 0.1:
+            h.channel.send(("CONV", holdout.rank, False))
+        h.deliver_one()
+        if h.rng.random() < 0.05:
+            h.dispatch(h.coordinator.on_timeout())
+        assert not h.coordinator.stopped
+    assert h.stopped_at is None
+
+
+def test_on_timeout_is_noop_outside_verify_phase():
+    c = StreakCoordinator(2)
+    assert c.on_timeout() == []
+    c.on_conv(0, True)
+    c.on_conv(1, True)
+    assert c.phase == "verify"
+    # A re-poll opens a fresh epoch so stale in-flight ACKs cannot be
+    # mixed with the re-polled ones.
+    actions = c.on_timeout()
+    assert actions and actions[0].body == ("VERIFY", 1)
+    assert c.on_verify_ack(0, 0, True) == []  # stale epoch: ignored
+    c.on_verify_ack(0, 1, True)
+    c.on_verify_ack(1, 1, True)
+    assert c.stopped
+    assert c.on_timeout() == []
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_exact_coordinator_memory_bounded_with_lost_diffs(seed):
+    """Dropped DIFFs (a dying peer) must not make bookkeeping grow
+    without bound: everything at or below the newest complete iteration
+    is pruned."""
+    rng = random.Random(seed)
+    c = ExactCoordinator(n_peers=3, tol=1e-12)
+    for it in range(1, 500):
+        for rank in range(3):
+            if rng.random() < 0.2:
+                continue  # this peer's DIFF is lost
+            c.on_diff(rank, it, 1.0)
+        # Bookkeeping never exceeds the incomplete tail above the newest
+        # complete iteration — and with ~51% complete iterations that
+        # tail stays small.
+        newest = c._newest_complete
+        if newest is not None:
+            assert all(it > newest for it in c._diffs)
+    assert len(c._diffs) < 500
