@@ -8,10 +8,12 @@ Usage (from the repository root)::
 
 Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, collects
 the per-benchmark mean/ops numbers, derives the fused-vs-reference
-speedups for the relaxation kernels and the process-vs-inline speedup of
-the sharded sweep executor, and writes the result as JSON.  The
-checked-in ``BENCH_micro.json`` is the perf trajectory record: future
-PRs rerun this script and compare against it before touching a hot path.
+speedups for the relaxation kernels, the process-vs-inline speedup of
+the sharded sweep executor, and the float32-vs-float64 speedup of the
+fused sweeps (the dtype dimension — bandwidth-bound kernels at half the
+element width), and writes the result as JSON.  The checked-in
+``BENCH_micro.json`` is the perf trajectory record: future PRs rerun
+this script and compare against it before touching a hot path.
 
 ``--check`` runs fresh benchmarks and *diffs* them against the committed
 JSON instead of overwriting it: any benchmark slower than the committed
@@ -59,6 +61,18 @@ EXECUTOR_PAIRS = {
     ),
 }
 
+#: (float64, float32) fused-kernel pairs whose ratio is the dtype
+#: speedup — the sweeps are memory-bandwidth-bound, so halving the
+#: element width should buy ~1.5–2x on these.
+DTYPE_PAIRS = {
+    "jacobi_sweep": ("test_bench_jacobi_sweep_fused",
+                     "test_bench_jacobi_sweep_fused_float32"),
+    "gauss_seidel_sweep": ("test_bench_gauss_seidel_sweep_fused",
+                           "test_bench_gauss_seidel_sweep_fused_float32"),
+    "block_sweep": ("test_bench_block_sweep_fused",
+                    "test_bench_block_sweep_fused_float32"),
+}
+
 
 def run_benchmarks(json_path: Path) -> None:
     env = dict(os.environ)
@@ -102,6 +116,12 @@ def summarize(raw: dict) -> dict:
             executor_speedups[label] = round(
                 results[inline]["mean_s"] / results[process]["mean_s"], 3
             )
+    dtype_speedups = {}
+    for label, (f64, f32) in DTYPE_PAIRS.items():
+        if f64 in results and f32 in results:
+            dtype_speedups[label] = round(
+                results[f64]["mean_s"] / results[f32]["mean_s"], 3
+            )
     return {
         "generated_by": "benchmarks/run_bench.py",
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
@@ -113,6 +133,7 @@ def summarize(raw: dict) -> dict:
         "repro_full": os.environ.get("REPRO_FULL", "0") == "1",
         "kernel_speedups_vs_reference": speedups,
         "executor_speedups_vs_inline": executor_speedups,
+        "dtype_speedups_float32_vs_float64": dtype_speedups,
         "benchmarks": results,
     }
 
@@ -124,6 +145,9 @@ def print_summary(summary: dict) -> None:
     for label, ratio in summary.get("executor_speedups_vs_inline", {}).items():
         print(f"  executor {label}: {ratio:.2f}x vs inline "
               f"({cores} core(s) available)")
+    for label, ratio in summary.get(
+            "dtype_speedups_float32_vs_float64", {}).items():
+        print(f"  float32 {label}: {ratio:.2f}x vs float64")
 
 
 def check(fresh: dict, committed: dict, tolerance: float) -> int:
@@ -176,6 +200,12 @@ def main() -> int:
         help="allowed slowdown fraction for --check (1.0 = up to 2x "
              "slower passes; perf varies a lot across CI machines)",
     )
+    parser.add_argument(
+        "--fresh-out", type=Path, default=None,
+        help="also write the fresh summary JSON here (useful with "
+             "--check, which otherwise never writes a file — CI uploads "
+             "it as the bench artifact)",
+    )
     args = parser.parse_args()
     committed = None
     if args.check:
@@ -199,6 +229,11 @@ def main() -> int:
         run_benchmarks(raw_path)
         raw = json.loads(raw_path.read_text())
     summary = summarize(raw)
+    if args.fresh_out is not None:
+        args.fresh_out.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote fresh results to {args.fresh_out}")
     if args.check:
         return check(summary, committed, args.tolerance)
     args.out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

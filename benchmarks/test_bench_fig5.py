@@ -10,7 +10,6 @@ takes); the *scientific* output is the printed table — the same rows
 EXPERIMENTS.md records.
 """
 
-import os
 
 import pytest
 

@@ -172,6 +172,19 @@ def test_bench_jacobi_sweep_fused(benchmark):
     assert np.isfinite(diff)
 
 
+def test_bench_jacobi_sweep_fused_float32(benchmark):
+    """The same fused Jacobi sweep at float32 — the sweeps are
+    bandwidth-bound, so halving the element width is the dtype
+    dimension's headline number (expect ~1.5–2x vs float64)."""
+    problem = membrane_problem(SWEEP_N)
+    ws = SweepWorkspace(problem, problem.jacobi_delta(), dtype=np.float32)
+    u = problem.feasible_start().astype(np.float32)
+    u_next = ws.rotation_buffer()
+
+    diff = benchmark(jacobi_sweep, ws, u, u_next)
+    assert np.isfinite(diff)
+
+
 def test_bench_gauss_seidel_sweep_reference(benchmark):
     """Seed-style plane-by-plane Gauss–Seidel sweep (baseline)."""
     problem = membrane_problem(SWEEP_N)
@@ -190,6 +203,17 @@ def test_bench_gauss_seidel_sweep_fused(benchmark):
     problem = membrane_problem(SWEEP_N)
     ws = SweepWorkspace(problem, problem.jacobi_delta())
     u = problem.feasible_start()
+    u_next = ws.rotation_buffer()
+
+    diff = benchmark(gauss_seidel_sweep, ws, u, u_next)
+    assert np.isfinite(diff)
+
+
+def test_bench_gauss_seidel_sweep_fused_float32(benchmark):
+    """Fused plane-sequential sweep at float32 (dtype dimension)."""
+    problem = membrane_problem(SWEEP_N)
+    ws = SweepWorkspace(problem, problem.jacobi_delta(), dtype=np.float32)
+    u = problem.feasible_start().astype(np.float32)
     u_next = ws.rotation_buffer()
 
     diff = benchmark(gauss_seidel_sweep, ws, u, u_next)
@@ -222,6 +246,23 @@ def test_bench_block_sweep_fused(benchmark):
     lo, hi = n // 4, n // 4 + n // 2
     ws = SweepWorkspace(problem, problem.jacobi_delta(), lo=lo, hi=hi)
     u0 = problem.feasible_start()
+    block = u0[lo:hi].copy()
+    nxt = ws.rotation_buffer()
+    gb, ga = u0[lo - 1].copy(), u0[hi].copy()
+
+    diff = benchmark(block_sweep, ws, block, nxt, gb, ga)
+    assert np.isfinite(diff)
+
+
+def test_bench_block_sweep_fused_float32(benchmark):
+    """Fused half-domain block sweep with ghosts at float32 (dtype
+    dimension of the distributed solver's kernel)."""
+    problem = membrane_problem(SWEEP_N)
+    n = SWEEP_N
+    lo, hi = n // 4, n // 4 + n // 2
+    ws = SweepWorkspace(problem, problem.jacobi_delta(), lo=lo, hi=hi,
+                        dtype=np.float32)
+    u0 = problem.feasible_start().astype(np.float32)
     block = u0[lo:hi].copy()
     nxt = ws.rotation_buffer()
     gb, ga = u0[lo - 1].copy(), u0[hi].copy()

@@ -28,7 +28,7 @@ from typing import Any, Iterator, Optional, Type
 from ..simnet.kernel import Simulator
 from .events import EventBus
 from .messages import Message
-from .microprotocol import MicroProtocol, MicroProtocolError
+from .microprotocol import MicroProtocol
 
 __all__ = ["CompositeProtocol", "ProtocolStack", "CompositionError"]
 
@@ -197,4 +197,4 @@ class ProtocolStack:
         return len(self._layers)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return "<Stack " + " / ".join(l.name for l in self._layers) + ">"
+        return "<Stack " + " / ".join(layer.name for layer in self._layers) + ">"

@@ -25,7 +25,7 @@ the dispatch itself stays deterministic.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from ..simnet.kernel import Event as KernelEvent
 from ..simnet.kernel import Process, Simulator

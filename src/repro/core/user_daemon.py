@@ -16,7 +16,6 @@ import shlex
 from typing import Any, Optional
 
 from ..simnet.kernel import Event
-from .task_manager import TaskManager
 
 __all__ = ["UserDaemon", "CommandError"]
 

@@ -21,9 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence
 
-import numpy as np
 
-from ..p2psap.context import Scheme
 from .harness import DEFAULT_TOL, RunResult, full_mode, run_configuration
 
 __all__ = [

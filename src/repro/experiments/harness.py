@@ -25,7 +25,6 @@ import dataclasses
 import os
 from typing import Any, Optional
 
-import numpy as np
 
 from ..core.environment import P2PDC
 from ..p2psap.context import Scheme

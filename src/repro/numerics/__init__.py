@@ -30,6 +30,13 @@ from .obstacle import (
     torsion_problem,
 )
 from .projection import BoxConstraint, unconstrained
+from .tolerances import (
+    SUPPORTED_DTYPES,
+    check_dtype,
+    equivalence_tol,
+    min_termination_tol,
+    resolve_dtype,
+)
 from .richardson import (
     FLOPS_PER_POINT,
     SolveResult,
@@ -48,5 +55,7 @@ __all__ = [
     "ObstacleProblem", "membrane_problem", "options_pricing_problem",
     "torsion_problem",
     "BoxConstraint", "unconstrained",
+    "SUPPORTED_DTYPES", "check_dtype", "equivalence_tol",
+    "min_termination_tol", "resolve_dtype",
     "FLOPS_PER_POINT", "SolveResult", "projected_richardson", "relax_plane",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
-from typing import Optional, Sequence
+from typing import Sequence
 
 __all__ = ["partition_planes", "weighted_partition", "BlockAssignment"]
 

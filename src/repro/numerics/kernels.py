@@ -52,6 +52,20 @@ Two exact-arithmetic fast paths matter in practice: with the paper's
 evaluates to exactly 0.0, and for the canonical problems b is constant
 (often 0), so the kernels skip whole passes without changing a single
 bit of the result.
+
+Precision (dtype)
+-----------------
+A workspace is parameterized by ``dtype`` — ``float64`` (the default,
+bit-identical to the historical behaviour) or ``float32``, which halves
+the memory traffic of every bandwidth-bound sweep.  The dtype is a
+property of the *buffers*: every plane array a kernel touches (``cur``,
+``nxt``, ghosts, the slab scratch, the staged constraint/rhs fields)
+must carry the workspace dtype, and the kernels validate that instead
+of letting ufunc casting silently promote a sweep back to float64 (or
+round a float64 ghost into a float32 slot).  The affine coefficients
+stay Python floats: under NumPy's weak-scalar promotion they compute in
+the buffer dtype without widening it.  Per-dtype equivalence bounds
+live in :mod:`repro.numerics.tolerances`.
 """
 
 from __future__ import annotations
@@ -62,6 +76,7 @@ from typing import Optional
 import numpy as np
 
 from .obstacle import ObstacleProblem
+from .tolerances import check_dtype, resolve_dtype
 
 __all__ = [
     "SweepWorkspace",
@@ -103,11 +118,12 @@ def _slab_target_bytes() -> int:
     return value
 
 
-def _default_slab(n: int, n_planes: int) -> int:
+def _default_slab(n: int, n_planes: int, itemsize: int = 8) -> int:
     """Planes per slab: the whole block when it is small enough to stay
-    cache-resident, otherwise a few planes."""
+    cache-resident, otherwise a few planes.  ``itemsize`` is the buffer
+    dtype's width — float32 fits twice the planes per slab."""
     target = _slab_target_bytes()
-    plane_bytes = 8 * n * n
+    plane_bytes = itemsize * n * n
     if n_planes * plane_bytes * 3 <= 2 * target:
         return n_planes
     return max(2, target // (3 * plane_bytes) or 2)
@@ -126,12 +142,16 @@ class SweepWorkspace:
       constant, else a ``(hi−lo, n, n)`` array;
     - ``lower``/``upper``: the constraint slab (``None``, 0-d scalar
       array, or ``(hi−lo, n, n)`` field view), plus cached per-plane
-      views for the plane-sequential kernel.
+      views for the plane-sequential kernel;
+    - ``dtype``: the buffer dtype all kernel arrays must carry
+      (float64 by default; the problem's float64 fields are cast into
+      workspace-owned copies once, here, when it differs).
     """
 
     def __init__(self, problem: ObstacleProblem, delta: float,
                  lo: int = 0, hi: Optional[int] = None,
-                 slab: Optional[int] = None):
+                 slab: Optional[int] = None,
+                 dtype=None):
         n = problem.grid.n
         hi = n if hi is None else hi
         if not 0 <= lo < hi <= n:
@@ -140,6 +160,7 @@ class SweepWorkspace:
             raise ValueError("delta must be positive")
         self.problem = problem
         self.delta = delta
+        self.dtype = resolve_dtype(dtype)
         self.lo = lo
         self.hi = hi
         self.n = n
@@ -155,28 +176,36 @@ class SweepWorkspace:
         elif np.all(b_slab == b_slab.flat[0]):
             self.db = float(delta * b_slab.flat[0])
         else:
-            self.db = delta * b_slab
+            self.db = self._as_dtype(delta * b_slab)
 
         self.lower = self._constraint_slab(problem.constraint.lower)
         self.upper = self._constraint_slab(problem.constraint.upper)
         self._lower_planes = self._plane_views(self.lower)
         self._upper_planes = self._plane_views(self.upper)
 
-        self.slab = slab if slab is not None else _default_slab(n, m)
+        self.slab = slab if slab is not None else \
+            _default_slab(n, m, self.dtype.itemsize)
         if self.slab < 1:
             raise ValueError("slab must be >= 1")
         # Slab scratch (neighbour sums, then |new − old|).  The GS
         # staging array — a full block-sized buffer only the
         # plane-sequential kernel touches — is allocated on first use.
-        self._nb = np.empty((min(self.slab, m), n, n))
+        self._nb = np.empty((min(self.slab, m), n, n), dtype=self.dtype)
         self._stage: Optional[np.ndarray] = None
+
+    def _as_dtype(self, field: np.ndarray) -> np.ndarray:
+        """The field itself at float64 (no copy — bit-identical default
+        path), a workspace-owned cast copy otherwise."""
+        if field.dtype == self.dtype:
+            return field
+        return field.astype(self.dtype)
 
     def _constraint_slab(self, field: Optional[np.ndarray]):
         if field is None:
             return None
         if field.ndim == 0:
-            return field
-        return field[self.lo:self.hi]
+            return self._as_dtype(field)
+        return self._as_dtype(field[self.lo:self.hi])
 
     def _plane_views(self, slab):
         if slab is None:
@@ -186,12 +215,15 @@ class SweepWorkspace:
         return list(slab)
 
     def rotation_buffer(self) -> np.ndarray:
-        """A fresh ``(hi−lo, n, n)`` array callers can rotate against the
-        iterate (allocated once per call — grab it at setup time)."""
-        return np.empty((self.n_planes, self.n, self.n))
+        """A fresh ``(hi−lo, n, n)`` array (in the workspace dtype)
+        callers can rotate against the iterate (allocated once per
+        call — grab it at setup time)."""
+        return np.empty((self.n_planes, self.n, self.n), dtype=self.dtype)
 
 
-def _check_buffers(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray) -> None:
+def _check_buffers(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
+                   ghost_below: Optional[np.ndarray],
+                   ghost_above: Optional[np.ndarray]) -> None:
     shape = (ws.n_planes, ws.n, ws.n)
     if cur.shape != shape or nxt.shape != shape:
         raise ValueError(f"cur/nxt must have shape {shape}")
@@ -199,6 +231,12 @@ def _check_buffers(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray) -> None
         raise ValueError("cur and nxt must be distinct arrays")
     if not (cur.flags.c_contiguous and nxt.flags.c_contiguous):
         raise ValueError("cur and nxt must be C-contiguous")
+    check_dtype(cur, ws.dtype, "cur")
+    check_dtype(nxt, ws.dtype, "nxt")
+    if ghost_below is not None:
+        check_dtype(ghost_below, ws.dtype, "ghost_below")
+    if ghost_above is not None:
+        check_dtype(ghost_above, ws.dtype, "ghost_above")
 
 
 def _inplane_sum(nbs: np.ndarray, curs: np.ndarray, n: int) -> None:
@@ -229,7 +267,7 @@ def jacobi_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
     Returns ‖nxt − cur‖∞.  ``ghost_below``/``ghost_above`` substitute for
     the planes just outside ``[lo, hi)`` (``None`` = zero Dirichlet).
     """
-    _check_buffers(ws, cur, nxt)
+    _check_buffers(ws, cur, nxt, ghost_below, ghost_above)
     m_total = ws.n_planes
     n = ws.n
     d = ws.d
@@ -300,14 +338,14 @@ def gauss_seidel_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
     contribution independent of updated planes; stage 2 is the three-
     dispatch-per-plane recursion; the diff is one fused pass at the end.
     """
-    _check_buffers(ws, cur, nxt)
+    _check_buffers(ws, cur, nxt, ghost_below, ghost_above)
     m_total = ws.n_planes
     n = ws.n
     d = ws.d
     a = ws.a
     db = ws.db
     if ws._stage is None:
-        ws._stage = np.empty((m_total, n, n))
+        ws._stage = np.empty((m_total, n, n), dtype=ws.dtype)
     stage = ws._stage
     slab = ws.slab
     for s in range(0, m_total, slab):

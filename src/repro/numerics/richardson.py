@@ -26,6 +26,7 @@ familiar from Spitéri & Chau; general δ is supported for theory tests.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Literal, Optional
 
 import numpy as np
@@ -33,6 +34,7 @@ import numpy as np
 from .convergence import DiffCriterion, ResidualHistory
 from .kernels import SweepWorkspace, gauss_seidel_sweep, jacobi_sweep
 from .obstacle import AUTO_HALO, ObstacleProblem
+from .tolerances import min_termination_tol, resolve_dtype
 
 __all__ = ["SolveResult", "projected_richardson", "relax_plane"]
 
@@ -93,11 +95,32 @@ def projected_richardson(
     sweep: Sweep = "gauss_seidel",
     u0: Optional[np.ndarray] = None,
     callback: Optional[Callable[[int, float], None]] = None,
+    dtype=None,
 ) -> SolveResult:
     """Iterate u ← F_δ(u) until ‖u_new − u_old‖∞ < tol.
 
     One *relaxation* = one full sweep over all n sub-blocks (the paper's
     unit when it reports "number of relaxations").
+
+    Precision and termination
+    -------------------------
+    ``dtype`` selects the iterate precision: float64 (default) or
+    float32, which halves the memory traffic of the bandwidth-bound
+    sweeps at ~half the significand.  The termination criterion compares
+    the per-sweep max-norm diff — *computed in dtype* — against ``tol``:
+    at float32 that diff carries ~``eps₃₂·|u| ≈ 1e-7`` of quantization
+    noise, so a tolerance below
+    :func:`repro.numerics.tolerances.min_termination_tol` (≈ 3.8e-6 at
+    float32, ≈ 7.1e-15 at float64) cannot be resolved — the iteration
+    either stops on rounding noise or runs to ``max_relaxations``.  A
+    sub-floor tolerance *warns* here rather than raising: "tol far below
+    reachable, run exactly ``max_relaxations`` sweeps" is a legitimate
+    idiom for this entry point, which returns ``converged=False``
+    cleanly at the cap.  The distributed solver
+    (:mod:`repro.solvers.distributed_richardson`) rejects sub-floor
+    tolerances outright instead — there the same mistake stalls a whole
+    simulated peer network.  ``u0`` is cast to ``dtype`` here, at the
+    entry point; everything past it is dtype-checked, not cast.
     """
     if delta is None:
         delta = problem.jacobi_delta()
@@ -105,13 +128,24 @@ def projected_richardson(
         raise ValueError("delta must be positive")
     if sweep not in ("jacobi", "gauss_seidel"):
         raise ValueError(f"unknown sweep {sweep!r}")
+    dtype = resolve_dtype(dtype)
+    floor = min_termination_tol(dtype)
+    if tol < floor:
+        warnings.warn(
+            f"tol={tol:g} is below the {dtype.name} termination floor "
+            f"{floor:g}: consecutive-iterate diffs computed in {dtype.name} "
+            "cannot resolve it, so the solve will run to max_relaxations "
+            "(see repro.numerics.tolerances)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     grid = problem.grid
-    u = problem.feasible_start() if u0 is None else u0.astype(float).copy()
+    u = (problem.feasible_start() if u0 is None else u0).astype(dtype)
     grid.validate_field(u, "u0")
 
     criterion = DiffCriterion(tol)
     history = ResidualHistory()
-    ws = SweepWorkspace(problem, delta)
+    ws = SweepWorkspace(problem, delta, dtype=dtype)
     kernel = jacobi_sweep if sweep == "jacobi" else gauss_seidel_sweep
     # Buffer rotation: the kernel writes the new iterate into the spare
     # array and the two swap roles every relaxation (no plane copies).

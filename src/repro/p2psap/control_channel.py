@@ -27,17 +27,14 @@ Four components, mirroring Section II.C:
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import Callable, Optional
 
 from ..cactus.messages import payload_nbytes
-from ..simnet.kernel import Event, Interrupt, Simulator
+from ..simnet.kernel import Interrupt, Simulator
 from ..simnet.network import Network, Node
 from .context import ChannelConfig, ConnectionKind, ContextSnapshot, Scheme
 from .rules import RuleEngine
-from .session import CONTROL_PORT, Session, SessionState
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .socket_api import P2PSAP
+from .session import CONTROL_PORT, Session
 
 __all__ = [
     "ContextMonitor",

@@ -36,7 +36,7 @@ from ..cactus.composite import CompositeProtocol, ProtocolStack
 from ..cactus.messages import Message
 from ..simnet.kernel import Event, Simulator
 from ..simnet.network import Network, Node
-from .context import ChannelConfig, CommMode
+from .context import ChannelConfig
 from .microprotocols.buffers import BufferManagement
 from .microprotocols.congestion import make_congestion
 from .microprotocols.modes import make_mode

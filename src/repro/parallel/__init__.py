@@ -21,10 +21,12 @@ process needs can therefore live in ``multiprocessing.shared_memory``:
     solver (``sweep``), and the boundary-plane views the simulated
     ``P2P_Send``/``P2P_Receive`` path hands around.
 
-Workers run the *same* fused kernels on the *same* float64 layout, so a
-process-sharded sweep matches the in-process ``block_sweep`` iterate for
-iterate (the equivalence suite asserts bit-equality, well inside the
-repo-wide ≤1e-12 guarantee).
+Workers run the *same* fused kernels on the *same* layout at the *same*
+dtype (float64 default, float32 opt-in — the dtype rides the arena spec
+and keys the shared-runner registry), so a process-sharded sweep matches
+the in-process ``block_sweep`` iterate for iterate (the equivalence
+suite asserts bit-equality at both precisions, well inside the per-dtype
+bounds of :mod:`repro.numerics.tolerances`).
 """
 
 from .arena import ArenaSpec, SharedPlaneArena

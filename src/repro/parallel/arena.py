@@ -5,8 +5,16 @@ One :class:`SharedPlaneArena` backs one sharded solve: for every shard
 iterate) it holds the two rotation buffers the fused kernels swap
 between, the two ghost planes neighbours write boundary sub-blocks
 into, and a per-shard diff slot.  The layout is a pure function of
-``(n, ranges)``, so a worker process can attach by segment name and
-derive byte-identical views — no pickled arrays ever cross a pipe.
+``(n, ranges, dtype)``, so a worker process can attach by segment name
+and derive byte-identical views — no pickled arrays ever cross a pipe.
+
+The plane dtype (float64 default, float32 opt-in) is part of the spec:
+every plane view is constructed from the one layout dtype, and an
+attaching process recomputes the same byte offsets from the spec — a
+dtype mismatch between creator and attacher is structurally impossible
+rather than a silent byte reinterpretation.  The per-shard diff slots
+stay float64 regardless: they carry max-norm values already rounded by
+the sweep, and widening them costs α·8 bytes total.
 """
 
 from __future__ import annotations
@@ -18,10 +26,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..numerics.tolerances import resolve_dtype
+
 __all__ = ["ArenaSpec", "SharedPlaneArena"]
 
-_FLOAT = np.float64
-_ITEM = 8  # bytes per float64
+#: Width of one per-shard diff slot (always float64, see module doc).
+_DIFF_ITEM = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,6 +41,9 @@ class ArenaSpec:
     name: str
     n: int
     ranges: tuple[tuple[int, int], ...]
+    #: Plane dtype name ("float64"/"float32") — a string so the spec
+    #: stays a plain picklable value object.
+    dtype: str = "float64"
 
 
 def _validate_ranges(n: int, ranges: tuple[tuple[int, int], ...]) -> None:
@@ -47,9 +60,15 @@ def _validate_ranges(n: int, ranges: tuple[tuple[int, int], ...]) -> None:
         raise ValueError(f"shard ranges cover [0, {expect}), grid has {n} planes")
 
 
-def _layout(n: int, ranges: tuple[tuple[int, int], ...]) -> tuple[int, list[dict]]:
-    """Byte offsets of every array in the segment (deterministic)."""
-    plane = n * n * _ITEM
+def _layout(n: int, ranges: tuple[tuple[int, int], ...],
+            itemsize: int) -> tuple[int, list[dict]]:
+    """Byte offsets of every array in the segment (deterministic).
+
+    ``itemsize`` is the plane dtype's width; the diff slots are appended
+    last so they stay 8-byte aligned for any plane dtype (float32 blocks
+    always cover a multiple of 4·n² bytes, and n²·#planes slots of it).
+    """
+    plane = n * n * itemsize
     offset = 0
     shards: list[dict] = []
     for lo, hi in ranges:
@@ -62,8 +81,10 @@ def _layout(n: int, ranges: tuple[tuple[int, int], ...]) -> tuple[int, list[dict
         }
         offset += 2 * block + 2 * plane
         shards.append(entry)
+    # Pad to the diff slots' own alignment before placing them.
+    offset += (-offset) % _DIFF_ITEM
     diffs = offset
-    offset += len(ranges) * _ITEM
+    offset += len(ranges) * _DIFF_ITEM
     return offset, [dict(s, diffs=diffs) for s in shards]
 
 
@@ -76,12 +97,14 @@ class SharedPlaneArena:
     drop their mapping.
     """
 
-    def __init__(self, n: int, ranges, *, _attach_spec: Optional[ArenaSpec] = None,
+    def __init__(self, n: int, ranges, dtype=None, *,
+                 _attach_spec: Optional[ArenaSpec] = None,
                  _untrack_attachment: bool = False):
         if _attach_spec is None:
             ranges = tuple((int(r[0]), int(r[1])) for r in ranges)
             _validate_ranges(n, ranges)
-            size, layout = _layout(n, ranges)
+            self.dtype = resolve_dtype(dtype)
+            size, layout = _layout(n, ranges, self.dtype.itemsize)
             name = f"repro-arena-{secrets.token_hex(6)}"
             self._shm = shared_memory.SharedMemory(
                 name=name, create=True, size=size
@@ -91,7 +114,8 @@ class SharedPlaneArena:
             n = _attach_spec.n
             ranges = _attach_spec.ranges
             _validate_ranges(n, ranges)
-            size, layout = _layout(n, ranges)
+            self.dtype = resolve_dtype(_attach_spec.dtype)
+            size, layout = _layout(n, ranges, self.dtype.itemsize)
             self._shm = shared_memory.SharedMemory(name=_attach_spec.name)
             self._owner = False
             if _untrack_attachment:
@@ -100,22 +124,29 @@ class SharedPlaneArena:
         self.ranges = ranges
         self.n_shards = len(ranges)
         buf = self._shm.buf
+        # Every plane view below derives from the single layout dtype —
+        # there is no per-array dtype to get out of sync with the byte
+        # offsets computed above.
+        plane_dtype = self.dtype
         self._blocks: list[tuple[np.ndarray, np.ndarray]] = []
         self._ghosts: list[tuple[np.ndarray, np.ndarray]] = []
         for (lo, hi), off in zip(ranges, layout):
             shape = (hi - lo, n, n)
             self._blocks.append((
-                np.ndarray(shape, dtype=_FLOAT, buffer=buf, offset=off["buf0"]),
-                np.ndarray(shape, dtype=_FLOAT, buffer=buf, offset=off["buf1"]),
+                np.ndarray(shape, dtype=plane_dtype, buffer=buf,
+                           offset=off["buf0"]),
+                np.ndarray(shape, dtype=plane_dtype, buffer=buf,
+                           offset=off["buf1"]),
             ))
             self._ghosts.append((
-                np.ndarray((n, n), dtype=_FLOAT, buffer=buf,
+                np.ndarray((n, n), dtype=plane_dtype, buffer=buf,
                            offset=off["ghost_below"]),
-                np.ndarray((n, n), dtype=_FLOAT, buffer=buf,
+                np.ndarray((n, n), dtype=plane_dtype, buffer=buf,
                            offset=off["ghost_above"]),
             ))
         self.diffs = np.ndarray(
-            (self.n_shards,), dtype=_FLOAT, buffer=buf, offset=layout[0]["diffs"]
+            (self.n_shards,), dtype=np.float64, buffer=buf,
+            offset=layout[0]["diffs"],
         )
         if self._owner:
             for b0, b1 in self._blocks:
@@ -142,7 +173,8 @@ class SharedPlaneArena:
 
     @property
     def spec(self) -> ArenaSpec:
-        return ArenaSpec(name=self._shm.name, n=self.n, ranges=self.ranges)
+        return ArenaSpec(name=self._shm.name, n=self.n, ranges=self.ranges,
+                         dtype=self.dtype.name)
 
     def shard_range(self, shard: int) -> tuple[int, int]:
         return self.ranges[shard]

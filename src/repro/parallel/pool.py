@@ -64,7 +64,10 @@ def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
         workspaces = {}
         for shard in shards:
             lo, hi = arena.shard_range(shard)
-            workspaces[shard] = SweepWorkspace(problem, delta, lo=lo, hi=hi)
+            # The workspace dtype rides the arena spec: workers always
+            # sweep at the precision the creator laid the planes out in.
+            workspaces[shard] = SweepWorkspace(problem, delta, lo=lo, hi=hi,
+                                               dtype=arena.dtype)
         conn.send(("ready", sorted(shards)))
         while True:
             cmd = conn.recv()

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..numerics.tolerances import check_dtype, resolve_dtype
 from .arena import SharedPlaneArena
 from .pool import ShardPool
 
@@ -51,7 +52,8 @@ class ParallelBlockRunner:
                  delta: Optional[float] = None,
                  n_workers: Optional[int] = None,
                  order: str = "gauss_seidel",
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 dtype=None):
         from ..numerics.blocks import partition_planes
         from ..solvers.distributed_richardson import get_problem
 
@@ -62,16 +64,18 @@ class ParallelBlockRunner:
         self.problem = get_problem(problem_kind, n)
         self.problem_kind = problem_kind
         self.n = n
+        self.dtype = resolve_dtype(dtype)
         self.delta = float(delta) if delta is not None else \
             self.problem.jacobi_delta()
         self.order = order
-        self.arena = SharedPlaneArena(n, ranges)
+        self.arena = SharedPlaneArena(n, ranges, dtype=self.dtype)
         self.n_shards = self.arena.n_shards
         self._flip = [0] * self.n_shards
         self._pending: set[int] = set()
         self._range_index = {r: k for k, r in enumerate(self.arena.ranges)}
-        # Feasible start + matching ghosts, exactly as BlockState does.
-        u0 = self.problem.feasible_start()
+        # Feasible start + matching ghosts, exactly as BlockState does
+        # (one deliberate cast to the arena dtype, here at the edge).
+        u0 = self.problem.feasible_start().astype(self.dtype)
         for k, (lo, hi) in enumerate(self.arena.ranges):
             np.copyto(self.arena.block(k, 0), u0[lo:hi])
             if lo > 0:
@@ -127,6 +131,7 @@ class ParallelBlockRunner:
     def set_ghost_below(self, shard: int, plane: np.ndarray) -> None:
         """Install a received boundary plane (the P2P_Receive hand-off)."""
         self._check_idle(shard)
+        check_dtype(plane, self.dtype, "received boundary plane")
         ghost = self.arena.ghost_below(shard)
         if ghost is None:
             raise RuntimeError("shard touches the domain boundary below")
@@ -134,6 +139,7 @@ class ParallelBlockRunner:
 
     def set_ghost_above(self, shard: int, plane: np.ndarray) -> None:
         self._check_idle(shard)
+        check_dtype(plane, self.dtype, "received boundary plane")
         ghost = self.arena.ghost_above(shard)
         if ghost is None:
             raise RuntimeError("shard touches the domain boundary above")
@@ -142,7 +148,9 @@ class ParallelBlockRunner:
     def gather(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Assemble the full ``(n, n, n)`` iterate (copies out of shm)."""
         if out is None:
-            out = np.empty((self.n, self.n, self.n))
+            out = np.empty((self.n, self.n, self.n), dtype=self.dtype)
+        else:
+            check_dtype(out, self.dtype, "gather output")
         for k, (lo, hi) in enumerate(self.arena.ranges):
             np.copyto(out[lo:hi], self.block(k))
         return out
@@ -151,6 +159,7 @@ class ParallelBlockRunner:
         """Load a full iterate into the shards (and refresh all ghosts)."""
         if u.shape != (self.n, self.n, self.n):
             raise ValueError(f"expected {(self.n,) * 3}, got {u.shape}")
+        check_dtype(u, self.dtype, "scattered iterate")
         for k, (lo, hi) in enumerate(self.arena.ranges):
             np.copyto(self.block(k), u[lo:hi])
             if lo > 0:
@@ -250,15 +259,19 @@ def acquire_shared_runner(problem_kind: str, n: int,
                           delta: float,
                           n_workers: Optional[int] = None,
                           start_method: Optional[str] = None,
+                          dtype=None,
                           ) -> ParallelBlockRunner:
+    # dtype is part of the key (by canonical name): a float32 solve must
+    # never be handed a float64 arena, and vice versa.
     key = (problem_kind, n, tuple(tuple(r) for r in ranges), float(delta),
-           n_workers, start_method)
+           n_workers, start_method, resolve_dtype(dtype).name)
     with _shared_lock:
         entry = _shared.get(key)
         if entry is None:
             runner = ParallelBlockRunner(
                 problem_kind, n, ranges=ranges, delta=delta,
                 n_workers=n_workers, start_method=start_method,
+                dtype=dtype,
             )
             entry = _shared[key] = [runner, 0]
             _runner_keys[id(runner)] = key

@@ -17,7 +17,7 @@ directly, mirroring OMF's separation between description and execution.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from .kernel import Simulator
 from .network import Network

@@ -15,7 +15,7 @@ import dataclasses
 from typing import Optional, Sequence
 
 from .kernel import Simulator
-from .network import Netem, Network, Node
+from .network import Netem, Network
 
 __all__ = [
     "TestbedSpec",

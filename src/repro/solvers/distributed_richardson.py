@@ -38,6 +38,7 @@ from ..numerics.obstacle import (
     options_pricing_problem,
     torsion_problem,
 )
+from ..numerics.tolerances import min_termination_tol, resolve_dtype
 from ..p2psap.context import CommMode, Scheme
 from .halo import BlockState
 from .termination import Action, ExactCoordinator, StreakCoordinator
@@ -164,7 +165,13 @@ class ObstacleApplication(Application):
     - ``weights``: optional per-peer speed weights (load balancing);
     - ``checkpoint_every``: sweeps between checkpoints, 0 = off (0);
     - ``eager_first_plane``: ablation switch — send U_f(k) *before*
-      U_l(k), i.e. disable the Figure 4 delayed-send optimization.
+      U_l(k), i.e. disable the Figure 4 delayed-send optimization;
+    - ``dtype``: iterate precision, "float64" (default) or "float32".
+      Halves both the sweep memory traffic and the modeled wire size of
+      every boundary plane.  ``tol`` must stay above the dtype's
+      termination floor (float32 diffs carry ~1e-7 of quantization
+      noise; see :mod:`repro.numerics.tolerances`) — the default
+      ``tol=1e-4`` is safe at both precisions.
     """
 
     name = "obstacle"
@@ -201,7 +208,9 @@ class ObstacleApplication(Application):
     def results_aggregation(self, results) -> DistributedSolveReport:
         reports: list[BlockReport] = sorted(results, key=lambda r: r.rank)
         n = reports[0].block.shape[1]
-        u = np.empty((n, n, n))
+        # Assemble in the blocks' own dtype — aggregation must not
+        # silently promote a float32 solve back to float64.
+        u = np.empty((n, n, n), dtype=reports[0].block.dtype)
         for rep in reports:
             u[rep.lo:rep.hi] = rep.block
         return assemble_report(reports, u)
@@ -245,6 +254,19 @@ class _BlockSolver:
         self.kind = params.get("problem", "membrane")
         self.n = int(params["n"])
         self.tol = float(params.get("tol", 1e-4))
+        # Iterate precision.  The tolerance must be resolvable by diffs
+        # computed in this dtype: at float32 a diff of an O(1) iterate
+        # quantizes to ~1e-7, so tolerances below the floor (≈ 3.8e-6)
+        # would make STOP decisions depend on rounding noise — rejected
+        # here, once, before any peer starts sweeping.
+        self.dtype = resolve_dtype(params.get("dtype"))
+        floor = min_termination_tol(self.dtype)
+        if self.tol < floor:
+            raise ValueError(
+                f"tol={self.tol:g} is below the {self.dtype.name} "
+                f"termination floor {floor:g} "
+                "(see repro.numerics.tolerances)"
+            )
         self.max_relax = int(params.get("max_relaxations", 200_000))
         self.streak = int(params.get("streak", 3))
         self.checkpoint_every = int(params.get("checkpoint_every", 0))
@@ -294,12 +316,13 @@ class _BlockSolver:
                 ranges=ranges, delta=delta,
                 n_workers=int(workers) if workers is not None else None,
                 start_method=params.get("executor_start_method"),
+                dtype=self.dtype,
             )
             shard = ctx.rank
         try:
             self.state = BlockState(
                 problem=self.problem, lo=sub["lo"], hi=sub["hi"],
-                delta=delta,
+                delta=delta, dtype=self.dtype,
                 local_sweep=params.get("local_sweep", "gauss_seidel"),
                 executor=self.executor, runner=self._runner, shard=shard,
             )
@@ -402,8 +425,9 @@ class _BlockSolver:
     # -- communication ----------------------------------------------------------------
 
     def problem_plane_bytes(self) -> int:
-        """Wire size of one boundary plane (n² float64)."""
-        return self.n * self.n * 8
+        """Wire size of one boundary plane (n² elements of the solve's
+        dtype — float32 planes cost half the modeled bandwidth)."""
+        return self.n * self.n * self.dtype.itemsize
 
     def _min_interval(self, nb: int) -> float:
         """Conflation interval towards neighbour ``nb``: ~1 plane's

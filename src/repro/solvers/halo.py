@@ -16,6 +16,7 @@ import numpy as np
 
 from ..numerics.kernels import SweepWorkspace, block_sweep
 from ..numerics.obstacle import ObstacleProblem
+from ..numerics.tolerances import check_dtype, resolve_dtype
 
 __all__ = ["BlockState", "relax_block_plane", "sweep_block"]
 
@@ -57,15 +58,24 @@ class BlockState:
     - ``"process"``: block, ghosts, and rotation buffer live in a
       :class:`~repro.parallel.SharedPlaneArena` and each sweep executes
       in the :class:`~repro.parallel.ParallelBlockRunner`'s worker pool.
-      The two paths run the same kernels over the same float64 layout,
-      so their iterates, diffs — and hence relaxation counts and
-      termination decisions — are identical.
+      The two paths run the same kernels over the same layout at the
+      same dtype, so their iterates, diffs — and hence relaxation
+      counts and termination decisions — are identical.
+
+    ``dtype`` selects the iterate precision (float64 default, float32
+    opt-in).  The block, both ghosts, and the sweep workspace all carry
+    it; a plane of any other dtype handed to ``update_ghost_*`` or
+    ``warm_start`` is rejected loudly rather than silently cast.  With
+    the process executor the runner's arena dtype must match.
     """
 
     problem: ObstacleProblem
     lo: int
     hi: int
     delta: float
+    #: Iterate precision; any value accepted by
+    #: :func:`repro.numerics.tolerances.resolve_dtype` (None = float64).
+    dtype: object = None
     block: np.ndarray = dataclasses.field(init=False)
     ghost_below: Optional[np.ndarray] = dataclasses.field(init=False)
     ghost_above: Optional[np.ndarray] = dataclasses.field(init=False)
@@ -93,10 +103,21 @@ class BlockState:
             raise ValueError(f"unknown local sweep {self.local_sweep!r}")
         if self.executor not in ("inline", "process"):
             raise ValueError(f"unknown executor {self.executor!r}")
-        u0 = self.problem.feasible_start()
+        self.dtype = resolve_dtype(self.dtype)
+        # The single deliberate cast: the float64 problem start becomes
+        # the iterate's dtype here, at the block boundary (a no-copy for
+        # the float64 default is *not* wanted — the block must own its
+        # storage), and everything downstream is dtype-checked.
+        u0 = self.problem.feasible_start().astype(self.dtype)
         if self.executor == "process":
             if self.runner is None:
                 raise ValueError("process executor needs a runner")
+            if self.runner.dtype != self.dtype:
+                raise ValueError(
+                    f"runner arena is {self.runner.dtype.name}, block wants "
+                    f"{self.dtype.name} — acquire a runner with a matching "
+                    "dtype (the registry keys on it)"
+                )
             if self.shard is None:
                 self.shard = self.runner.shard_for(self.lo, self.hi)
             # Block and ghosts are views into the runner's shared arena;
@@ -117,7 +138,8 @@ class BlockState:
         self.ghost_below = u0[self.lo - 1].copy() if self.lo > 0 else None
         self.ghost_above = u0[self.hi].copy() if self.hi < n else None
         self._workspace = SweepWorkspace(self.problem, self.delta,
-                                         lo=self.lo, hi=self.hi)
+                                         lo=self.lo, hi=self.hi,
+                                         dtype=self.dtype)
         # Rotation buffer: each sweep writes the new iterate here, then
         # the two block arrays swap roles (no per-plane copies).
         self._next_block = self._workspace.rotation_buffer()
@@ -139,11 +161,13 @@ class BlockState:
     def update_ghost_below(self, plane: np.ndarray) -> None:
         if self.ghost_below is None:
             raise RuntimeError("block touches the domain boundary below")
+        check_dtype(plane, self.dtype, "received ghost plane (below)")
         np.copyto(self.ghost_below, plane)
 
     def update_ghost_above(self, plane: np.ndarray) -> None:
         if self.ghost_above is None:
             raise RuntimeError("block touches the domain boundary above")
+        check_dtype(plane, self.dtype, "received ghost plane (above)")
         np.copyto(self.ghost_above, plane)
 
     def warm_start(self, block: np.ndarray) -> None:
@@ -152,6 +176,7 @@ class BlockState:
             raise ValueError(
                 f"checkpoint shape {block.shape} != block {self.block.shape}"
             )
+        check_dtype(block, self.dtype, "warm-start block")
         np.copyto(self.block, block)
 
     def sweep(self) -> float:

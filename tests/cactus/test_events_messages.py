@@ -37,7 +37,9 @@ class TestEventBus:
         assert bus.raise_event("nothing") == []
 
     def test_double_bind_same_handler_rejected(self, bus):
-        h = lambda: None
+        def h():
+            return None
+
         bus.bind("E", h)
         with pytest.raises(ValueError):
             bus.bind("E", h)

@@ -5,10 +5,18 @@ The solver layer keeps a module-global LRU of problem instances
 that sharing is a deliberate speed-up — problems are read-only — but it
 must not leak across modules, so the cache is dropped at every module
 boundary.
+
+``REPRO_TEST_DTYPE`` selects the dtype lane the dtype-parameterized
+suites run under (``float64`` default, ``float32`` in CI's second
+equivalence lane); the :func:`repro_dtype` fixture is the single place
+it is consumed.
 """
+
+import os
 
 import pytest
 
+from repro.numerics.tolerances import resolve_dtype
 from repro.solvers.distributed_richardson import clear_problem_cache
 
 
@@ -18,3 +26,13 @@ def _isolated_problem_cache():
     clear_problem_cache()
     yield
     clear_problem_cache()
+
+
+@pytest.fixture(scope="session")
+def repro_dtype():
+    """The dtype under test: ``REPRO_TEST_DTYPE`` env var, float64 default.
+
+    An invalid value fails the session loudly (resolve_dtype raises)
+    instead of silently running the float64 lane twice.
+    """
+    return resolve_dtype(os.environ.get("REPRO_TEST_DTYPE") or None)

@@ -1,6 +1,5 @@
 """Fault tolerance: checkpoints, failure detection, recovery flow."""
 
-import numpy as np
 import pytest
 
 from repro.core import P2PDC

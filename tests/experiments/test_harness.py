@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.harness import (
-    RunResult,
     run_configuration,
     scaled_spec,
 )
@@ -81,7 +80,7 @@ class TestReporting:
         lines = out.splitlines()
         assert lines[0] == "t"
         assert "a" in lines[1] and "bb" in lines[1]
-        widths = {len(l) for l in lines[1:]}
+        widths = {len(line) for line in lines[1:]}
         assert len(widths) == 1  # all rows equally wide
 
     def test_format_table_empty_rows(self):

@@ -18,7 +18,6 @@ from repro.numerics.kernels import (
     jacobi_sweep,
 )
 from repro.numerics.obstacle import (
-    AUTO_HALO,
     ObstacleProblem,
     membrane_problem,
     options_pricing_problem,
@@ -26,9 +25,14 @@ from repro.numerics.obstacle import (
 )
 from repro.numerics.projection import BoxConstraint, unconstrained
 from repro.numerics.richardson import relax_plane
+from repro.numerics.tolerances import equivalence_tol
 from repro.solvers.halo import BlockState, relax_block_plane
 
-TOL = 1e-12
+# The float64 contract (1e-12), derived from the tolerance module so the
+# suite and the module can never disagree; the float32 lane runs the
+# dtype-parameterized suite in test_kernels_dtype.py under its own bound.
+TOL = equivalence_tol(np.float64)
+assert TOL == 1e-12
 
 PROBLEM_FACTORIES = {
     "membrane": membrane_problem,

@@ -1,0 +1,69 @@
+"""The per-dtype bound derivations and the dtype boundary guards."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.tolerances import (
+    SUPPORTED_DTYPES,
+    check_dtype,
+    equivalence_tol,
+    min_termination_tol,
+    resolve_dtype,
+)
+
+
+class TestResolveDtype:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == np.dtype(np.float64)
+
+    @pytest.mark.parametrize("spec", [
+        "float32", np.float32, np.dtype(np.float32), "<f4",
+    ])
+    def test_float32_spellings(self, spec):
+        assert resolve_dtype(spec) == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("bad", [
+        "float16", np.float16, np.int32, "int64", complex, "no-such-dtype",
+        np.longdouble,
+    ])
+    def test_unsupported_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_dtype(bad)
+
+    def test_supported_set(self):
+        assert set(SUPPORTED_DTYPES) == {
+            np.dtype(np.float32), np.dtype(np.float64)
+        }
+
+
+class TestCheckDtype:
+    def test_match_passes(self):
+        check_dtype(np.zeros(3, dtype=np.float32), np.float32, "x")
+
+    def test_mismatch_is_loud_and_named(self):
+        with pytest.raises(ValueError, match="ghost plane.*float64.*float32"):
+            check_dtype(np.zeros(3), np.float32, "ghost plane")
+
+
+class TestBounds:
+    def test_float64_equivalence_is_the_historical_contract(self):
+        assert equivalence_tol(np.float64) == 1e-12
+
+    def test_float32_equivalence_in_the_1e5_family(self):
+        tol = equivalence_tol(np.float32)
+        assert tol == 100 * np.finfo(np.float32).eps
+        assert 1e-5 < tol < 2e-5
+
+    def test_termination_floor_orders(self):
+        f32, f64 = min_termination_tol("float32"), min_termination_tol(None)
+        assert f64 < 1e-14  # the tightest tolerance in tier-1 stays legal
+        assert 1e-6 < f32 < 1e-5  # default solver tol=1e-4 stays legal
+        # Both are the same ulp multiple of their eps.
+        assert f32 / np.finfo(np.float32).eps == \
+            f64 / np.finfo(np.float64).eps == 32
+
+    def test_bounds_scale_with_eps(self):
+        """The float32 bounds are derived from eps, not hand-copied."""
+        ratio = np.finfo(np.float32).eps / np.finfo(np.float64).eps
+        assert min_termination_tol("float32") == \
+            min_termination_tol("float64") * ratio

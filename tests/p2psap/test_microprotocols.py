@@ -6,7 +6,6 @@ from repro.cactus.composite import CompositeProtocol
 from repro.cactus.messages import Message
 from repro.p2psap.context import CommMode
 from repro.p2psap.microprotocols.buffers import BufferManagement
-from repro.p2psap.microprotocols.congestion import NewRenoCongestion
 from repro.p2psap.microprotocols.modes import (
     AsynchronousMode,
     SynchronousMode,

@@ -1,6 +1,5 @@
 """Physical-layer composite protocols: framing, pumps, fabric swapping."""
 
-import math
 
 import pytest
 

@@ -9,7 +9,7 @@ from repro.p2psap.context import (
     ContextSnapshot,
     Scheme,
 )
-from repro.p2psap.rules import TABLE_I, Rule, RuleEngine, default_rules
+from repro.p2psap.rules import TABLE_I, Rule, RuleEngine
 
 
 def ctx(scheme, conn, **kw):

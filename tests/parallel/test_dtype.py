@@ -1,0 +1,144 @@
+"""Dtype-parameterized executor equivalence + arena dtype layout.
+
+The executor half of the ``REPRO_TEST_DTYPE`` lane: at either precision
+the process-sharded sweep must match the inline kernels *bit for bit*
+(both run the same kernels over the same layout at the same dtype), the
+arena layout must derive every view from the single spec dtype, and any
+mixed-dtype hand-off must fail loudly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelBlockRunner,
+    SharedPlaneArena,
+    acquire_shared_runner,
+    release_shared_runner,
+)
+from repro.solvers.distributed_richardson import get_problem
+from repro.solvers.halo import BlockState
+
+N = 12
+
+
+class TestArenaDtype:
+    def test_views_carry_spec_dtype(self, repro_dtype):
+        with SharedPlaneArena(8, [(0, 3), (3, 8)], dtype=repro_dtype) as arena:
+            assert arena.dtype == repro_dtype
+            assert arena.block(0, 0).dtype == repro_dtype
+            assert arena.block(1, 1).dtype == repro_dtype
+            assert arena.ghost_above(0).dtype == repro_dtype
+            # Diff slots are metadata, always float64.
+            assert arena.diffs.dtype == np.float64
+
+    def test_spec_roundtrips_dtype(self, repro_dtype):
+        with SharedPlaneArena(4, [(0, 4)], dtype=repro_dtype) as arena:
+            spec = pickle.loads(pickle.dumps(arena.spec))
+            assert spec.dtype == repro_dtype.name
+            attached = SharedPlaneArena.attach(spec)
+            try:
+                assert attached.dtype == repro_dtype
+                assert attached.block(0, 0).dtype == repro_dtype
+            finally:
+                attached.close()
+
+    def test_float32_segment_is_smaller(self):
+        """The layout is derived from the dtype itemsize — a float32
+        arena maps about half the bytes of a float64 one."""
+        with SharedPlaneArena(8, [(0, 8)]) as a64, \
+                SharedPlaneArena(8, [(0, 8)], dtype="float32") as a32:
+            planes64 = a64._shm.size - a64.diffs.nbytes
+            planes32 = a32._shm.size - a32.diffs.nbytes
+            assert planes32 * 2 == planes64
+
+    def test_attachment_sees_writes_at_dtype(self, repro_dtype):
+        with SharedPlaneArena(6, [(0, 6)], dtype=repro_dtype) as arena:
+            arena.block(0, 0)[:] = 7.5
+            other = SharedPlaneArena.attach(arena.spec)
+            try:
+                assert (other.block(0, 0) == 7.5).all()
+            finally:
+                other.close()
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            SharedPlaneArena(4, [(0, 4)], dtype="float16")
+
+
+class TestRunnerDtypeEquivalence:
+    @pytest.mark.parametrize("order", ["gauss_seidel", "jacobi"])
+    def test_process_matches_inline_bitwise_at_dtype(self, order, repro_dtype):
+        problem = get_problem("membrane", N)
+        ranges = [(0, 5), (5, 8), (8, N)]
+        inline = [
+            BlockState(problem=problem, lo=lo, hi=hi,
+                       delta=problem.jacobi_delta(), local_sweep=order,
+                       dtype=repro_dtype)
+            for lo, hi in ranges
+        ]
+        with ParallelBlockRunner("membrane", N, ranges=ranges, order=order,
+                                 dtype=repro_dtype) as runner:
+            for step in range(5):
+                d_inline = [s.sweep() for s in inline]
+                d_proc = runner.sweep_all()
+                assert d_inline == d_proc, f"diff mismatch at step {step}"
+                for k, state in enumerate(inline):
+                    assert state.block.dtype == repro_dtype
+                    assert np.array_equal(state.block, runner.block(k))
+                for k in range(len(inline) - 1):
+                    inline[k + 1].update_ghost_below(
+                        inline[k].last_plane.copy())
+                    inline[k].update_ghost_above(
+                        inline[k + 1].first_plane.copy())
+                runner.exchange_ghosts()
+
+    def test_gather_scatter_at_dtype(self, repro_dtype):
+        with ParallelBlockRunner("membrane", N, n_shards=2,
+                                 dtype=repro_dtype) as runner:
+            u = runner.gather()
+            assert u.dtype == repro_dtype
+            rng = np.random.default_rng(3)
+            v = rng.normal(size=(N, N, N)).astype(repro_dtype)
+            runner.scatter(v)
+            assert np.array_equal(runner.gather(), v)
+
+
+class TestDtypeBoundaries:
+    def test_mixed_dtype_scatter_and_ghosts_rejected(self):
+        with ParallelBlockRunner("membrane", N, n_shards=2,
+                                 dtype="float32") as runner:
+            with pytest.raises(ValueError, match="mixed-dtype"):
+                runner.scatter(np.zeros((N, N, N)))  # float64
+            with pytest.raises(ValueError, match="mixed-dtype"):
+                runner.set_ghost_below(1, np.zeros((N, N)))
+            with pytest.raises(ValueError, match="mixed-dtype"):
+                runner.gather(out=np.empty((N, N, N)))
+
+    def test_blockstate_rejects_mismatched_runner(self):
+        problem = get_problem("membrane", N)
+        delta = problem.jacobi_delta()
+        runner = acquire_shared_runner("membrane", N, ranges=[(0, N)],
+                                       delta=delta, dtype="float32")
+        try:
+            with pytest.raises(ValueError, match="matching.*dtype"):
+                BlockState(problem=problem, lo=0, hi=N, delta=delta,
+                           executor="process", runner=runner)  # float64
+        finally:
+            release_shared_runner(runner)
+
+    def test_registry_keys_on_dtype(self):
+        problem = get_problem("membrane", N)
+        delta = problem.jacobi_delta()
+        a = acquire_shared_runner("membrane", N, ranges=[(0, N)], delta=delta)
+        b = acquire_shared_runner("membrane", N, ranges=[(0, N)], delta=delta,
+                                  dtype="float32")
+        try:
+            assert a is not b
+            assert a.dtype == np.dtype(np.float64)
+            assert b.dtype == np.dtype(np.float32)
+        finally:
+            release_shared_runner(a)
+            release_shared_runner(b)

@@ -37,6 +37,29 @@ def solve(n_peers, scheme, executor, clusters=1, extra=None):
     )
 
 
+@pytest.mark.parametrize("scheme", ["synchronous", "asynchronous"])
+def test_process_executor_matches_inline_at_lane_dtype(scheme, repro_dtype):
+    """The inline/process equivalence holds at either precision: same
+    kernels, same layout, same dtype ⇒ identical observables."""
+    extra = {"dtype": repro_dtype.name}
+    inline = solve(3, scheme, "inline", extra=extra).output
+    process = solve(3, scheme, "process", extra=extra).output
+    assert inline.u.dtype == repro_dtype
+    assert process.u.dtype == repro_dtype
+    assert process.relaxations == inline.relaxations
+    assert np.array_equal(process.u, inline.u)
+    for pi, pp in zip(inline.per_peer, process.per_peer):
+        assert pp.final_diff == pi.final_diff
+
+
+def test_float32_tolerance_below_floor_rejected():
+    # The solver's ValueError surfaces as the environment's
+    # "sub-task(s) failed" RuntimeError, message preserved.
+    with pytest.raises(RuntimeError, match="termination floor"):
+        solve(2, "synchronous", "inline",
+              extra={"dtype": "float32", "tol": 1e-7})
+
+
 @pytest.mark.parametrize("scheme", ["synchronous", "asynchronous", "hybrid"])
 def test_process_executor_matches_inline(scheme):
     inline = solve(3, scheme, "inline").output

@@ -6,7 +6,6 @@ from repro.simnet.kernel import (
     AllOf,
     AnyOf,
     DeadlockError,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,

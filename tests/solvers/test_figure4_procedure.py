@@ -8,7 +8,6 @@ the actual send order and the per-edge communication modes on live
 runs.
 """
 
-import pytest
 
 from repro.core import P2PDC
 from repro.p2psap.context import CommMode

@@ -32,8 +32,10 @@ Asserted properties (seeded, hundreds of adversarial schedules):
 
 import random
 
+import numpy as np
 import pytest
 
+from repro.numerics.tolerances import min_termination_tol
 from repro.solvers.termination import ExactCoordinator, StreakCoordinator
 
 
@@ -195,6 +197,117 @@ def test_on_timeout_is_noop_outside_verify_phase():
     c.on_verify_ack(1, 1, True)
     assert c.stopped
     assert c.on_timeout() == []
+
+
+# -- float32 lane: reduced-precision diffs must not fake convergence --------
+#
+# At float32 the per-sweep max-norm diff reaches the coordinator after a
+# round-trip through float32 quantization (the sweep computes it in
+# float32; the wire carries it as-is).  The tolerance module's floor
+# guarantees the threshold sits well above that quantization noise, so a
+# diff that is *clearly* above tol (by more than a couple of ulps) can
+# never round below it — no false STOP — and one clearly below can never
+# round above it — no lost convergence.  The fuzz below reuses the exact
+# adversarial seeds of the float64 suite with every diff quantized to
+# float32 before delivery.
+
+#: Two float32 ulps of relative slack: the most quantization can move a
+#: value, with margin (a single cast moves it at most eps/2 relatively).
+_F32_SLACK = 2 * float(np.finfo(np.float32).eps)
+
+
+@pytest.mark.parametrize("seed", range(30))
+@pytest.mark.parametrize("n_peers", [1, 2, 4])
+def test_exact_coordinator_no_false_stop_from_float32_diffs(n_peers, seed):
+    """ExactCoordinator fed float32-quantized diffs: STOP exactly at the
+    first iteration whose true diffs were all below tol, never at one
+    where any peer's true diff was above it."""
+    rng = random.Random(seed)
+    tol = min_termination_tol(np.float32)  # the tightest legal threshold
+    c = ExactCoordinator(n_peers=n_peers, tol=tol)
+    # Ground truth per iteration: converging after a random point, with
+    # every diff clearly above or clearly below tol (the floor keeps
+    # real sweeps out of the one-ulp ambiguity band; see module note).
+    first_conv = rng.randrange(3, 40)
+    truth = []
+    stopped_at = None
+    for it in range(1, 60):
+        diffs = []
+        for _rank in range(n_peers):
+            if it >= first_conv:
+                d = tol * (1.0 - _F32_SLACK) * rng.random()
+            else:
+                # Above tol — sometimes adversarially close.
+                d = tol * (1.0 + _F32_SLACK) * (1.0 + rng.random())
+            diffs.append(d)
+        truth.append(diffs)
+        for rank, d in enumerate(diffs):
+            actions = c.on_diff(rank, it, float(np.float32(d)))
+            for action in actions:
+                if action.body[0] == "STOP":
+                    assert stopped_at is None
+                    stopped_at = action.body[1]
+        if stopped_at is not None:
+            break
+    assert stopped_at == first_conv, (
+        f"float32 quantization moved the stop iteration: expected "
+        f"{first_conv}, got {stopped_at}"
+    )
+    assert all(d < tol for d in truth[stopped_at - 1])
+
+
+@pytest.mark.parametrize("seed", range(30))
+@pytest.mark.parametrize("n_peers", [2, 4])
+def test_streak_safety_with_float32_criterion_decisions(n_peers, seed):
+    """The streak harness with CONV decisions made from float32 diffs:
+    the safety property (no STOP while any peer's true diff is above
+    tol) must survive quantization + the adversarial channel — and the
+    run must still *reach* STOP once every true diff settles below tol
+    (so no parameterization passes vacuously without a STOP decision).
+    """
+    tol = 1e-4  # the solver default, legal at float32
+    h = Harness(n_peers, seed)
+    true_diffs = [10 * tol] * n_peers
+    # Phase 1: churn — diffs cross tol in both directions, the channel
+    # misbehaves, every STOP (if any) is safety-checked.
+    for _ in range(300):
+        if h.coordinator.stopped:
+            break
+        for p in h.peers:
+            # Honest peers re-derive convergence from quantized diffs.
+            if not p.converged and h.rng.random() < 0.3:
+                true_diffs[p.rank] = tol * (1.0 - _F32_SLACK) * h.rng.random()
+            elif p.converged and not h.all_truly_converged() \
+                    and h.rng.random() < 0.15:
+                true_diffs[p.rank] = tol * (1.0 + _F32_SLACK) \
+                    * (1.0 + h.rng.random())
+            p.set_converged(bool(np.float32(true_diffs[p.rank]) < tol))
+        if h.rng.random() < 0.7:
+            h.deliver_one()
+        if h.rng.random() < 0.05:
+            h.dispatch(h.coordinator.on_timeout())
+        if h.stopped_at is not None:
+            # Quantization never flips a clearly-above diff below tol.
+            assert all(d < tol for d in true_diffs)
+    # Phase 2: all true diffs settle clearly below tol; the quantized
+    # decisions must still drive the coordinator to STOP (liveness of
+    # the float32 path — without this, schedules that never stopped in
+    # phase 1 would exercise nothing).
+    h.channel.lossy = False
+    for p in h.peers:
+        true_diffs[p.rank] = tol * (1.0 - _F32_SLACK) * h.rng.random()
+        p.set_converged(bool(np.float32(true_diffs[p.rank]) < tol))
+        h.channel.send(("CONV", p.rank, True))
+    for _round in range(50):
+        if h.coordinator.stopped:
+            break
+        while h.deliver_one():
+            if h.coordinator.stopped:
+                break
+        if not h.coordinator.stopped:
+            h.dispatch(h.coordinator.on_timeout())
+    assert h.coordinator.stopped, f"deadlock (seed={seed}, peers={n_peers})"
+    assert all(d < tol for d in true_diffs)
 
 
 @pytest.mark.parametrize("seed", range(10))
