@@ -6,14 +6,18 @@ Usage (from the repository root)::
     python benchmarks/run_bench.py [--out BENCH_micro.json]
     python benchmarks/run_bench.py --check [--tolerance 1.0]
 
-Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, collects
+Runs ``benchmarks/test_bench_micro.py`` and
+``benchmarks/test_bench_campaign.py`` under pytest-benchmark, collects
 the per-benchmark mean/ops numbers, derives the fused-vs-reference
 speedups for the relaxation kernels, the process-vs-inline speedup of
-the sharded sweep executor, and the float32-vs-float64 speedup of the
+the sharded sweep executor, the float32-vs-float64 speedup of the
 fused sweeps (the dtype dimension — bandwidth-bound kernels at half the
-element width), and writes the result as JSON.  The checked-in
-``BENCH_micro.json`` is the perf trajectory record: future PRs rerun
-this script and compare against it before touching a hot path.
+element width), and the campaign setup amortization (a 10-job delta
+sweep through pooled workspaces / keep-alive worker pools vs ten cold
+harness runs, with ``cpu_count`` recorded next to it), and writes the
+result as JSON.  The checked-in ``BENCH_micro.json`` is the perf
+trajectory record: future PRs rerun this script and compare against it
+before touching a hot path.
 
 ``--check`` runs fresh benchmarks and *diffs* them against the committed
 JSON instead of overwriting it: any benchmark slower than the committed
@@ -73,6 +77,19 @@ DTYPE_PAIRS = {
                     "test_bench_block_sweep_fused_float32"),
 }
 
+#: (cold, pooled) pairs whose ratio is the campaign setup amortization:
+#: the same 10-job delta sweep as cold per-run setup vs pooled
+#: workspaces / keep-alive worker pools.  Solves are bit-identical, so
+#: the whole ratio is setup cost.  Interpret the process pair alongside
+#: the recorded cpu_count (worker forking is pure overhead on 1 core,
+#: which only *raises* the cold baseline).
+CAMPAIGN_PAIRS = {
+    "inline_2peers_10jobs": ("test_bench_campaign_cold_inline",
+                             "test_bench_campaign_pooled_inline"),
+    "process_2peers_10jobs": ("test_bench_campaign_cold_process",
+                              "test_bench_campaign_pooled_process"),
+}
+
 
 def run_benchmarks(json_path: Path) -> None:
     env = dict(os.environ)
@@ -84,6 +101,7 @@ def run_benchmarks(json_path: Path) -> None:
         [
             sys.executable, "-m", "pytest",
             str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
+            str(REPO_ROOT / "benchmarks" / "test_bench_campaign.py"),
             "-q", "--benchmark-only", f"--benchmark-json={json_path}",
         ],
         cwd=REPO_ROOT,
@@ -122,6 +140,16 @@ def summarize(raw: dict) -> dict:
             dtype_speedups[label] = round(
                 results[f64]["mean_s"] / results[f32]["mean_s"], 3
             )
+    campaign = {}
+    for label, (cold, pooled) in CAMPAIGN_PAIRS.items():
+        if cold in results and pooled in results:
+            campaign[label] = round(
+                results[cold]["mean_s"] / results[pooled]["mean_s"], 3
+            )
+    if campaign:
+        # The 1-core-container caveat lives next to the number it
+        # qualifies, not only in the top-level field.
+        campaign["cpu_count"] = os.cpu_count()
     return {
         "generated_by": "benchmarks/run_bench.py",
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
@@ -134,6 +162,7 @@ def summarize(raw: dict) -> dict:
         "kernel_speedups_vs_reference": speedups,
         "executor_speedups_vs_inline": executor_speedups,
         "dtype_speedups_float32_vs_float64": dtype_speedups,
+        "campaign_setup_amortization": campaign,
         "benchmarks": results,
     }
 
@@ -148,6 +177,12 @@ def print_summary(summary: dict) -> None:
     for label, ratio in summary.get(
             "dtype_speedups_float32_vs_float64", {}).items():
         print(f"  float32 {label}: {ratio:.2f}x vs float64")
+    for label, ratio in summary.get(
+            "campaign_setup_amortization", {}).items():
+        if label == "cpu_count":
+            continue
+        print(f"  campaign {label}: {ratio:.2f}x pooled vs cold "
+              f"({cores} core(s) available)")
 
 
 def check(fresh: dict, committed: dict, tolerance: float) -> int:
@@ -175,6 +210,25 @@ def check(fresh: dict, committed: dict, tolerance: float) -> int:
     for name in sorted(set(committed.get("benchmarks", {})) -
                        set(fresh["benchmarks"])):
         print(f"  GONE  {name}: in committed record only")
+    # Gate the campaign amortization *ratio* too: both sides of a pair
+    # could drift slower in lockstep (passing the per-benchmark check)
+    # while the pooling benefit itself quietly evaporates.
+    fresh_amort = dict(fresh.get("campaign_setup_amortization", {}))
+    committed_amort = dict(committed.get("campaign_setup_amortization", {}))
+    fresh_amort.pop("cpu_count", None)
+    committed_amort.pop("cpu_count", None)
+    for label in sorted(set(fresh_amort) & set(committed_amort)):
+        ratio = fresh_amort[label] / committed_amort[label]
+        verdict = "ok"
+        if ratio < 1.0 / (1.0 + tolerance):
+            verdict = "WORSE"
+            failures.append((f"campaign_setup_amortization/{label}",
+                             1.0 / ratio))
+        print(f"  {verdict:6s}campaign amortization {label}: "
+              f"{fresh_amort[label]:.2f}x vs committed "
+              f"{committed_amort[label]:.2f}x "
+              f"(cpu_count {fresh.get('cpu_count')} vs "
+              f"{committed.get('cpu_count')})")
     if failures:
         print(f"{len(failures)} benchmark(s) regressed past tolerance:")
         for name, ratio in failures:

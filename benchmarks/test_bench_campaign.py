@@ -1,0 +1,98 @@
+"""Campaign setup amortization: cold per-run setup vs pooled resources.
+
+The acceptance shape of the campaign subsystem: a 10-job delta-sweep
+campaign (same ``(n, ranges, dtype)``, only delta varies) through
+pooled workspaces + keep-alive worker pools, against the same ten jobs
+as cold ``run_configuration`` calls.  The solves are bit-identical —
+the equivalence suite asserts that — so the entire cold/pooled delta is
+*setup*: workspace allocation for the inline executor, worker-pool
+forking + shared-memory arena setup for the process executor.
+
+``run_bench.py`` derives ``campaign_setup_amortization`` (cold mean /
+pooled mean, per executor) from these and records ``cpu_count`` next to
+it: the process-executor ratio reflects pool startup amortization and
+holds even on one core (this container), where forking workers per
+solve is pure overhead.
+
+The result cache is deliberately off: these measure pooled *execution*,
+not cache service (a cached pass solves nothing and would measure only
+deserialization).
+"""
+
+import numpy as np
+
+from repro.campaign import Campaign, expand_matrix
+from repro.experiments.harness import run_configuration
+from repro.solvers.distributed_richardson import get_problem
+
+#: Grid size of the campaign benchmark solves (small on purpose: the
+#: metric is setup amortization, so solve time should not drown it).
+CAMPAIGN_N = 12
+N_JOBS = 10
+N_PEERS = 2
+TOL = 1e-3
+
+
+def _delta_sweep_jobs(executor: str):
+    base = get_problem("membrane", CAMPAIGN_N).jacobi_delta()
+    deltas = [base * (0.80 + 0.02 * i) for i in range(N_JOBS)]
+    return expand_matrix(
+        ns=[CAMPAIGN_N], n_peers=[N_PEERS], schemes=["synchronous"],
+        deltas=deltas, tol=TOL, executors=[executor],
+    )
+
+
+def _run_cold(jobs):
+    """Ten cold harness calls: every run rebuilds all of its setup."""
+    residual = 0.0
+    for job in jobs:
+        result = run_configuration(
+            n=job.n, n_peers=job.n_peers, n_clusters=job.n_clusters,
+            scheme=job.scheme, tol=job.tol, delta=job.delta,
+            executor=job.executor,
+        )
+        residual = max(residual, result.residual)
+    return residual
+
+
+def _bench_pooled(benchmark, executor: str):
+    jobs = _delta_sweep_jobs(executor)
+    campaign = Campaign(jobs)  # no cache: measure execution, not service
+    try:
+        # warmup_rounds=1 populates the pools (first round is the cold
+        # one that builds what later rounds reuse).
+        outcome = benchmark.pedantic(campaign.run, rounds=3,
+                                     iterations=1, warmup_rounds=1)
+        assert outcome.runs == N_JOBS
+        assert all(np.isfinite(r.result.residual) for r in outcome.records)
+    finally:
+        campaign.close()
+
+
+def _bench_cold(benchmark, executor: str):
+    jobs = _delta_sweep_jobs(executor)
+    residual = benchmark.pedantic(_run_cold, args=(jobs,), rounds=3,
+                                  iterations=1, warmup_rounds=1)
+    assert np.isfinite(residual)
+
+
+def test_bench_campaign_cold_inline(benchmark):
+    """Baseline: 10 cold runs, inline executor (fresh workspaces)."""
+    _bench_cold(benchmark, "inline")
+
+
+def test_bench_campaign_pooled_inline(benchmark):
+    """10-job campaign, inline executor (pooled sweep workspaces)."""
+    _bench_pooled(benchmark, "inline")
+
+
+def test_bench_campaign_cold_process(benchmark):
+    """Baseline: 10 cold runs, process executor (a worker pool + shm
+    arena forked and torn down per solve)."""
+    _bench_cold(benchmark, "process")
+
+
+def test_bench_campaign_pooled_process(benchmark):
+    """10-job campaign, process executor: one keep-alive ShardPool
+    survives the whole sweep (rebound between deltas, never re-forked)."""
+    _bench_pooled(benchmark, "process")

@@ -1,0 +1,47 @@
+"""Batched sweep-campaign engine: many solves, pooled setup.
+
+The paper's evaluation is a *campaign* — dozens of near-identical
+configurations varying only ``(n, α, scheme, clusters)`` — yet a plain
+harness loop rebuilds every workspace, shared-memory arena and worker
+pool from scratch per run.  This package is the batching layer between
+"one solve at a time" and a solve service:
+
+:mod:`~repro.campaign.jobs`
+    :class:`CampaignJob` (one configuration as hashable data),
+    :func:`expand_matrix` (the cartesian grid), :func:`plan_jobs`
+    (deduplicated DAG with optional warm-start edges);
+:mod:`~repro.campaign.pool`
+    :class:`WorkspacePool` — sweep workspaces checked out by
+    ``(n, lo, hi, dtype)`` and rebound to each solve's
+    ``(problem, delta)`` instead of reallocated;
+:mod:`~repro.campaign.cache`
+    :class:`ResultCache` — content-addressed solve results, in memory
+    and optionally on disk;
+:mod:`~repro.campaign.engine`
+    :class:`Campaign` — executes a plan through the pools, keep-alive
+    shard-pool leases, the cache, and optional warm starts.
+
+Entry points: the programmatic :class:`Campaign` API, the
+``python -m repro.experiments campaign`` CLI, and the
+``benchmarks/test_bench_campaign.py`` micro-benchmark recording
+``campaign_setup_amortization`` in ``BENCH_micro.json``.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, cache_key
+from .engine import Campaign, CampaignResult, ExecutedJob
+from .jobs import CampaignJob, CampaignPlan, expand_matrix, plan_jobs
+from .pool import WorkspacePool
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "Campaign",
+    "CampaignJob",
+    "CampaignPlan",
+    "CampaignResult",
+    "ExecutedJob",
+    "ResultCache",
+    "WorkspacePool",
+    "cache_key",
+    "expand_matrix",
+    "plan_jobs",
+]

@@ -1,0 +1,208 @@
+"""Content-addressed result cache for campaign runs.
+
+A solve is deterministic data-in/data-out: the DES replays the same
+event sequence for the same configuration, so a result may be reused
+whenever the full job signature — problem, size, peers, clusters,
+scheme, tolerance, dtype, executor, delta, seed, extras, *and* the
+warm-start edge — matches.  :func:`cache_key` hashes exactly that
+(plus a schema version: bump :data:`CACHE_SCHEMA` when solver
+semantics change and every stale entry misses instead of lying).
+
+Storage is two-layer: an in-memory map for the current process and an
+optional on-disk directory so a re-invoked CLI campaign is served from
+cache.  On disk each entry is ``<key>.npy`` (the full solution iterate,
+bit-exact, dtype preserved) plus ``<key>.json`` (counters, per-peer
+metadata, provenance, and the signature for inspection).  Entries are
+self-contained — invalidation is ``clear()`` or deleting the files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["ResultCache", "cache_key", "CACHE_SCHEMA"]
+
+#: Bump when a change makes previously cached results non-reusable
+#: (solver semantics, report fields, serialization layout).
+CACHE_SCHEMA = 1
+
+
+def cache_key(signature: dict[str, Any]) -> str:
+    """Stable content address of a job signature (sha256 hex)."""
+    blob = json.dumps({"schema": CACHE_SCHEMA, **signature},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """problem+params hash → solved :class:`RunResult`.
+
+    ``root=None`` keeps the cache in memory only (one process);
+    a path makes entries persistent across invocations.
+    """
+
+    def __init__(self, root: Optional[str | os.PathLike] = None,
+                 max_memory_entries: int = 128):
+        self.root = Path(root).expanduser() if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.max_memory_entries = max_memory_entries
+        self._memory: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup -----------------------------------------------------------------
+
+    def load(self, key: str):
+        """The cached RunResult for ``key``, or None (counted)."""
+        result = self._memory.get(key)
+        if result is None and self.root is not None:
+            result = self._load_disk(key)
+            if result is not None:
+                self._remember(key, result)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result,
+              signature: Optional[dict[str, Any]] = None) -> None:
+        """Record ``result`` under ``key`` (memory + disk when rooted)."""
+        self._remember(key, result)
+        self.stores += 1
+        if self.root is not None:
+            self._store_disk(key, result, signature)
+
+    def clear(self) -> None:
+        """Drop every entry, memory and disk."""
+        self._memory.clear()
+        if self.root is not None:
+            for path in self.root.glob("*.npy"):
+                path.unlink(missing_ok=True)
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        if self.root is not None:
+            return len(list(self.root.glob("*.json")))
+        return len(self._memory)
+
+    def _remember(self, key: str, result) -> None:
+        # Bounded, insertion-ordered: evict the oldest entry.
+        self._memory.pop(key, None)
+        while len(self._memory) >= self.max_memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = result
+
+    # -- disk layer --------------------------------------------------------------
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.root / f"{key}.npy", self.root / f"{key}.json"
+
+    def _store_disk(self, key: str, result, signature) -> None:
+        from ..experiments.harness import RunResult
+
+        assert isinstance(result, RunResult)
+        npy, meta_path = self._paths(key)
+        meta = {
+            "schema": CACHE_SCHEMA,
+            "signature": signature,
+            "n": result.n,
+            "n_peers": result.n_peers,
+            "n_clusters": result.n_clusters,
+            "scheme": result.scheme.value,
+            "elapsed": result.elapsed,
+            "relaxations": result.relaxations,
+            "residual": result.residual,
+            "max_wait_time": result.max_wait_time,
+            "report": {
+                "relaxations": result.report.relaxations,
+                "residual": result.report.residual,
+                "provenance": result.report.provenance,
+                "per_peer": [
+                    {
+                        "rank": rep.rank, "lo": rep.lo, "hi": rep.hi,
+                        "relaxations": rep.relaxations,
+                        "converged_at": rep.converged_at,
+                        "wait_time": rep.wait_time,
+                        "sends": rep.sends, "receives": rep.receives,
+                        "final_diff": rep.final_diff,
+                        "extra": rep.extra,
+                    }
+                    for rep in result.report.per_peer
+                ],
+            },
+        }
+        # Write-then-rename: a crashed writer leaves no torn entry a
+        # later load could half-read.
+        self._atomic_write(npy, lambda f: np.save(f, result.report.u))
+        self._atomic_write(
+            meta_path,
+            lambda f: f.write(json.dumps(meta, indent=1).encode()),
+        )
+
+    def _atomic_write(self, path: Path, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                writer(f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def _load_disk(self, key: str):
+        from ..experiments.harness import RunResult
+        from ..p2psap.context import Scheme
+        from ..solvers.distributed_richardson import (
+            BlockReport,
+            DistributedSolveReport,
+        )
+
+        npy, meta_path = self._paths(key)
+        if not (npy.exists() and meta_path.exists()):
+            return None
+        meta = json.loads(meta_path.read_text())
+        if meta.get("schema") != CACHE_SCHEMA:
+            return None
+        u = np.load(npy, allow_pickle=False)
+        rep_meta = meta["report"]
+        per_peer = [
+            BlockReport(
+                rank=r["rank"], lo=r["lo"], hi=r["hi"],
+                block=u[r["lo"]:r["hi"]],
+                relaxations=r["relaxations"],
+                converged_at=r["converged_at"],
+                wait_time=r["wait_time"],
+                sends=r["sends"], receives=r["receives"],
+                final_diff=r["final_diff"],
+                extra=r["extra"],
+            )
+            for r in rep_meta["per_peer"]
+        ]
+        scheme = Scheme.parse(meta["scheme"])
+        report = DistributedSolveReport(
+            u=u, n=meta["n"], n_peers=meta["n_peers"], scheme=scheme,
+            relaxations=rep_meta["relaxations"], per_peer=per_peer,
+            residual=rep_meta["residual"],
+            provenance=rep_meta.get("provenance", {}),
+        )
+        return RunResult(
+            n=meta["n"], n_peers=meta["n_peers"],
+            n_clusters=meta["n_clusters"], scheme=scheme,
+            elapsed=meta["elapsed"], relaxations=meta["relaxations"],
+            residual=meta["residual"], report=report,
+            max_wait_time=meta["max_wait_time"],
+        )

@@ -1,0 +1,287 @@
+"""The campaign engine: batched solves through pooled resources.
+
+``run_configuration`` rebuilds every workspace, arena and worker pool
+from scratch per run; a :class:`Campaign` executes a whole matrix of
+jobs through resources that live for the campaign instead:
+
+- a :class:`~repro.campaign.pool.WorkspacePool` installed via the
+  kernel-layer hook, so per-peer sweep workspaces are checked out and
+  rebound instead of reallocated;
+- keep-alive leases on the refcounted shared-runner registry of
+  :mod:`repro.parallel.runner`, so one persistent
+  :class:`~repro.parallel.ShardPool` (worker processes + shm arena)
+  survives across process-executor solves — including across a delta
+  sweep, via :func:`~repro.parallel.runner.rebind_shared_runner`;
+- a content-addressed :class:`~repro.campaign.cache.ResultCache`, so a
+  re-submitted configuration is served without solving at all;
+- optional warm starts: a job seeded from the cached/solved solution of
+  its nearest-parameter neighbour (the previous delta in a delta
+  sweep), with the edge recorded in both the result provenance and the
+  cache key.
+
+Pooling is a pure setup optimization: pooled solves are bit-identical
+to cold ``run_configuration`` calls (iterates, relaxation counts,
+simulated time) — the equivalence suite asserts it.  Warm starts are
+the one deliberate exception: they change the starting iterate, which
+is exactly their point, and are off by default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..numerics.kernels import set_workspace_pool
+from ..numerics.tolerances import resolve_dtype
+from .cache import ResultCache, cache_key
+from .jobs import CampaignJob, CampaignPlan, plan_jobs
+from .pool import WorkspacePool
+
+__all__ = ["Campaign", "CampaignResult", "ExecutedJob"]
+
+
+@dataclasses.dataclass
+class ExecutedJob:
+    """One submitted job and how its result was obtained."""
+
+    job: CampaignJob
+    key: str
+    cache_key: str
+    result: object  # RunResult
+    #: "run" (solved now), "cache" (served from the result cache), or
+    #: "duplicate" (same key as an earlier job in this submission).
+    source: str
+    warm_from: Optional[str] = None
+    wall_time: float = 0.0
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Everything a campaign produced, in submission order."""
+
+    records: list[ExecutedJob]
+    plan: CampaignPlan
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def runs(self) -> int:
+        return sum(1 for r in self.records if r.source == "run")
+
+    @property
+    def duplicates(self) -> int:
+        return sum(1 for r in self.records if r.source == "duplicate")
+
+    def result_for(self, job: CampaignJob):
+        key = job.key()
+        for record in self.records:
+            if record.key == key:
+                return record.result
+        raise KeyError(f"no record for job {job.label()!r}")
+
+    def rows(self) -> list[dict]:
+        """Tabular summary (one dict per submitted job)."""
+        out = []
+        for record in self.records:
+            row = record.result.row()
+            row["source"] = record.source
+            if record.warm_from is not None:
+                row["warm_from"] = record.warm_from
+            out.append(row)
+        return out
+
+
+class Campaign:
+    """A batch of solve jobs executed through pooled resources.
+
+    Parameters
+    ----------
+    jobs:
+        Any iterable of :class:`CampaignJob` (duplicates allowed — they
+        collapse onto one run).
+    cache:
+        A :class:`ResultCache`, or None to always solve.
+    warm_start:
+        Chain delta-sweep groups nearest-neighbour and seed each solve
+        from its predecessor's solution.
+    pool_workspaces / keep_runners:
+        The two pooling dimensions; both default on.  Disabling both
+        (and the cache) makes ``run()`` equivalent to a loop of cold
+        ``run_configuration`` calls — the benchmark baseline.
+
+    A campaign can be ``run()`` repeatedly (leases and pools persist
+    between runs — that is the point); ``close()`` releases everything.
+    Usable as a context manager.
+    """
+
+    def __init__(self, jobs: Iterable[CampaignJob], *,
+                 cache: Optional[ResultCache] = None,
+                 warm_start: bool = False,
+                 pool_workspaces: bool = True,
+                 keep_runners: bool = True):
+        self.plan = plan_jobs(jobs, warm_start=warm_start)
+        self.cache = cache
+        self.warm_start = warm_start
+        self.workspace_pool = WorkspacePool() if pool_workspaces else None
+        self.keep_runners = keep_runners
+        self._leases: dict[tuple, object] = {}
+        self._closed = False
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, progress=None) -> CampaignResult:
+        """Execute the plan; returns one record per submitted job.
+
+        ``progress``, when given, is called as ``progress(record)``
+        after each unique job resolves (CLI feedback hook).
+        """
+        if self._closed:
+            raise RuntimeError("campaign is closed")
+        from ..experiments.harness import run_configuration
+
+        previous_pool = None
+        if self.workspace_pool is not None:
+            previous_pool = set_workspace_pool(self.workspace_pool)
+        results: dict[str, ExecutedJob] = {}
+        try:
+            for job in self.plan.order:
+                key = job.key()
+                warm_from = self.plan.warm_sources.get(key)
+                # The cache must key on the warm seed's *content*, not
+                # just the predecessor's job identity: the predecessor
+                # may itself have been warm-started (or not) depending
+                # on how this campaign's sweep was cut, and its
+                # solution differs accordingly.  Chaining through the
+                # predecessor's cache key makes the edge transitive —
+                # a truncated or reordered sweep can never hit an entry
+                # produced from a seed it did not compute.
+                warm_ckey = (results[warm_from].cache_key
+                             if warm_from is not None else None)
+                signature = dict(job.signature(), warm_from=warm_ckey)
+                ckey = cache_key(signature)
+                t0 = time.perf_counter()
+                result = self.cache.load(ckey) if self.cache else None
+                source = "cache"
+                if result is None:
+                    source = "run"
+                    if job.executor == "process" and self.keep_runners:
+                        self._ensure_runner_lease(job)
+                    warm_u = warm_label = None
+                    if warm_from is not None and warm_from in results:
+                        seed = results[warm_from].result.report.u
+                        warm_u = np.ascontiguousarray(
+                            seed, dtype=resolve_dtype(job.dtype)
+                        )
+                        warm_label = f"campaign:{warm_from}"
+                    result = run_configuration(
+                        n=job.n, n_peers=job.n_peers,
+                        n_clusters=job.n_clusters, scheme=job.scheme,
+                        n_paper=job.n_paper, tol=job.tol,
+                        problem=job.problem, seed=job.seed,
+                        dtype=job.dtype, executor=job.executor,
+                        delta=job.delta, warm_start_u=warm_u,
+                        warm_start_label=warm_label,
+                        extra_params=job.extra_params or None,
+                    )
+                    if self.cache is not None:
+                        self.cache.store(ckey, result, signature)
+                record = ExecutedJob(
+                    job=job, key=key, cache_key=ckey, result=result,
+                    source=source, warm_from=warm_from,
+                    wall_time=time.perf_counter() - t0,
+                )
+                results[key] = record
+                if progress is not None:
+                    progress(record)
+        finally:
+            if self.workspace_pool is not None:
+                set_workspace_pool(previous_pool)
+        records = []
+        seen: set[str] = set()
+        for job in self.plan.jobs:
+            record = results[job.key()]
+            if record.key in seen:
+                record = dataclasses.replace(record, job=job,
+                                             source="duplicate",
+                                             wall_time=0.0)
+            seen.add(record.key)
+            records.append(record)
+        return CampaignResult(records=records, plan=self.plan)
+
+    # -- pooled resources --------------------------------------------------------
+
+    def _ensure_runner_lease(self, job: CampaignJob) -> None:
+        """Hold (or rebind) the shared runner this job's solve will
+        acquire, so the worker pool and arena survive the solve.
+
+        The lease key mirrors the solver's own registry key minus the
+        delta; when the held runner's delta differs from the job's, the
+        live pool is rebound in place instead of torn down — that is
+        what amortizes worker startup across a delta sweep.
+        """
+        from ..parallel.runner import (
+            acquire_shared_runner,
+            rebind_shared_runner,
+        )
+        from ..solvers.distributed_richardson import (
+            assignment_from_params,
+            get_problem,
+        )
+
+        extra = job.extra_params
+        params = {"weights": extra["weights"]} if "weights" in extra else {}
+        assignment = assignment_from_params(params, job.n, job.n_peers)
+        ranges = tuple((r.start, r.stop) for r in assignment.ranges)
+        workers = extra.get("executor_workers")
+        workers = int(workers) if workers is not None else None
+        start_method = extra.get("executor_start_method")
+        delta = job.delta if job.delta is not None else \
+            get_problem(job.problem, job.n).jacobi_delta()
+        base = (job.problem, job.n, ranges, workers, start_method,
+                resolve_dtype(job.dtype).name)
+        runner = self._leases.get(base)
+        if runner is None:
+            self._leases[base] = acquire_shared_runner(
+                job.problem, job.n, ranges=ranges, delta=delta,
+                n_workers=workers, start_method=start_method,
+                dtype=job.dtype,
+            )
+        elif runner.delta != float(delta):
+            rebind_shared_runner(runner, delta)
+
+    @property
+    def held_runners(self) -> int:
+        return len(self._leases)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every keep-alive lease and drop pooled workspaces.
+
+        Idempotent; after this the campaign cannot run again (build a
+        new one — the cache, being external, survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        from ..parallel.runner import release_shared_runner
+
+        leases, self._leases = self._leases, {}
+        for runner in leases.values():
+            release_shared_runner(runner)
+        if self.workspace_pool is not None:
+            self.workspace_pool.clear()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

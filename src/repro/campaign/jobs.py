@@ -1,0 +1,216 @@
+"""Campaign jobs: the unit of work of a sweep campaign.
+
+A :class:`CampaignJob` is one ``run_configuration`` call as *data* —
+problem spec × peers × clusters × scheme × dtype × executor (× the
+optional relaxation step ``delta``).  Jobs are frozen, hashable by
+value, and carry a stable content key, so a campaign can deduplicate a
+matrix, address a result cache, and wire warm-start dependencies
+without ever comparing live objects.
+
+:func:`expand_matrix` builds the cartesian product the paper's
+evaluation is made of (Figures 5/6: dozens of near-identical
+configurations varying only ``(n, α, scheme, clusters)``);
+:func:`plan_jobs` turns any job list into the deduplicated DAG the
+engine executes — duplicate jobs collapse onto one node, and with warm
+starts enabled each delta-sweep group is chained nearest-neighbour so a
+solve can start from the previous delta's solution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from ..numerics.tolerances import resolve_dtype
+from ..p2psap.context import Scheme
+
+__all__ = ["CampaignJob", "CampaignPlan", "expand_matrix", "plan_jobs"]
+
+#: Tolerance default mirrored from the experiment harness (kept literal
+#: here so the jobs layer stays importable without the harness stack).
+DEFAULT_TOL = 1e-4
+
+_EXECUTORS = ("inline", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignJob:
+    """One solve configuration, normalized and hashable by value.
+
+    ``delta=None`` means the problem's own Jacobi step (the paper's
+    δ = 1/diag); ``n_paper`` enables the harness's ratio-preserving
+    scaling.  ``extra`` holds any additional solver params (weights,
+    executor_workers, ...) as a sorted item tuple so the job stays
+    hashable and its signature canonical.
+    """
+
+    n: int
+    n_peers: int = 1
+    n_clusters: int = 1
+    scheme: str = "hybrid"
+    problem: str = "membrane"
+    tol: float = DEFAULT_TOL
+    dtype: str = "float64"
+    executor: str = "inline"
+    delta: Optional[float] = None
+    n_paper: Optional[int] = None
+    seed: int = 0
+    extra: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme", Scheme.parse(self.scheme).value)
+        object.__setattr__(self, "dtype", resolve_dtype(self.dtype).name)
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; known: {_EXECUTORS}"
+            )
+        if self.delta is not None:
+            object.__setattr__(self, "delta", float(self.delta))
+        extra = self.extra
+        if isinstance(extra, Mapping):
+            extra = tuple(sorted(extra.items()))
+        else:
+            extra = tuple(sorted(tuple(item) for item in extra))
+        object.__setattr__(self, "extra", extra)
+
+    @property
+    def extra_params(self) -> dict[str, Any]:
+        return dict(self.extra)
+
+    def signature(self) -> dict[str, Any]:
+        """The canonical, JSON-able identity of this job.
+
+        Everything that determines the solve's outcome is here — and
+        nothing else — so equal signatures really are re-runs of one
+        configuration.  The result cache hashes this (plus the
+        warm-start edge, which changes the trajectory).
+        """
+        return {
+            "n": self.n,
+            "n_peers": self.n_peers,
+            "n_clusters": self.n_clusters,
+            "scheme": self.scheme,
+            "problem": self.problem,
+            "tol": self.tol,
+            "dtype": self.dtype,
+            "executor": self.executor,
+            "delta": self.delta,
+            "n_paper": self.n_paper,
+            "seed": self.seed,
+            # Round-tripped through JSON so the signature is exactly
+            # what a reader of the cache metadata sees (tuples inside
+            # extra values become lists, here, deterministically).
+            "extra": json.loads(json.dumps(
+                [list(item) for item in self.extra]
+            )),
+        }
+
+    def key(self) -> str:
+        """Short content address of :meth:`signature` (hex)."""
+        blob = json.dumps(self.signature(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Human-readable one-liner for logs and CLI summaries."""
+        delta = "auto" if self.delta is None else f"{self.delta:g}"
+        return (
+            f"{self.problem} n={self.n} α={self.n_peers} "
+            f"c={self.n_clusters} {self.scheme} δ={delta} "
+            f"{self.dtype}/{self.executor}"
+        )
+
+
+def expand_matrix(
+    ns: Sequence[int],
+    n_peers: Sequence[int] = (1,),
+    n_clusters: Sequence[int] = (1,),
+    schemes: Sequence[str] = ("hybrid",),
+    problems: Sequence[str] = ("membrane",),
+    dtypes: Sequence[str] = ("float64",),
+    executors: Sequence[str] = ("inline",),
+    deltas: Sequence[Optional[float]] = (None,),
+    tol: float = DEFAULT_TOL,
+    n_paper: Optional[int] = None,
+    seed: int = 0,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> list[CampaignJob]:
+    """The cartesian job matrix, in deterministic axis order.
+
+    Cluster counts exceeding the peer count are skipped (a 2-cluster
+    split of one machine is meaningless — same rule as the figure
+    harness).
+    """
+    jobs = []
+    for n, prob, scheme, clusters, alpha, dtype, executor, delta in \
+            itertools.product(ns, problems, schemes, n_clusters, n_peers,
+                              dtypes, executors, deltas):
+        if clusters > alpha:
+            continue
+        jobs.append(CampaignJob(
+            n=n, n_peers=alpha, n_clusters=clusters, scheme=scheme,
+            problem=prob, tol=tol, dtype=dtype, executor=executor,
+            delta=delta, n_paper=n_paper, seed=seed, extra=extra or {},
+        ))
+    return jobs
+
+
+@dataclasses.dataclass
+class CampaignPlan:
+    """The deduplicated execution DAG of one campaign.
+
+    ``order`` is a topological execution order over the unique jobs;
+    ``warm_sources`` maps a job key to the key of the job whose solution
+    seeds it (its nearest smaller delta in the same sweep group — only
+    populated when the plan was built with ``warm_start=True``).
+    """
+
+    jobs: list[CampaignJob]
+    order: list[CampaignJob]
+    warm_sources: dict[str, str]
+
+    @property
+    def n_duplicates(self) -> int:
+        return len(self.jobs) - len(self.order)
+
+
+def _group_key(job: CampaignJob) -> tuple:
+    """Everything but delta: the axis a delta sweep varies along."""
+    sig = job.signature()
+    sig.pop("delta")
+    return tuple(sorted((k, json.dumps(v, sort_keys=True))
+                        for k, v in sig.items()))
+
+
+def plan_jobs(jobs: Iterable[CampaignJob],
+              warm_start: bool = False) -> CampaignPlan:
+    """Deduplicate ``jobs`` and (optionally) wire warm-start edges.
+
+    Without warm starts the execution order is simply first-occurrence
+    order.  With them, each group of jobs differing only in ``delta``
+    is made contiguous and sorted ascending by delta (``None`` — the
+    problem default — first), and every member is seeded by its
+    predecessor: the nearest-parameter neighbour.  That ordering *is*
+    the topological order of the warm-start DAG.
+    """
+    jobs = list(jobs)
+    unique: dict[str, CampaignJob] = {}
+    for job in jobs:
+        unique.setdefault(job.key(), job)
+    if not warm_start:
+        return CampaignPlan(jobs=jobs, order=list(unique.values()),
+                            warm_sources={})
+    groups: dict[tuple, list[CampaignJob]] = {}
+    for job in unique.values():
+        groups.setdefault(_group_key(job), []).append(job)
+    order: list[CampaignJob] = []
+    warm_sources: dict[str, str] = {}
+    for members in groups.values():
+        members.sort(key=lambda j: (j.delta is not None, j.delta or 0.0))
+        for prev, job in zip(members, members[1:]):
+            warm_sources[job.key()] = prev.key()
+        order.extend(members)
+    return CampaignPlan(jobs=jobs, order=order, warm_sources=warm_sources)

@@ -1,0 +1,92 @@
+"""Pooled sweep workspaces: checkout instead of reallocate.
+
+Every solve builds one :class:`~repro.numerics.kernels.SweepWorkspace`
+per peer — slab scratch, the Gauss–Seidel staging buffer (a full
+block-sized array), cast constraint/rhs slabs.  A campaign runs dozens
+of solves over the *same* ``(n, ranges, dtype)``; re-allocating (and
+re-faulting-in) those buffers per run is pure setup cost.
+
+:class:`WorkspacePool` keeps returned workspaces keyed by
+``(n, lo, hi, dtype)`` and re-aims them at the next solve's
+``(problem, delta)`` via :meth:`SweepWorkspace.rebind` — which
+recomputes exactly the constants a fresh construction would, so pooled
+sweeps are bit-identical to cold ones.  The campaign engine installs
+the pool through the kernel-layer hook
+(:func:`repro.numerics.kernels.set_workspace_pool`); the solver layer
+never knows whether its workspace is fresh or recycled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..numerics.kernels import SweepWorkspace
+from ..numerics.tolerances import resolve_dtype
+
+__all__ = ["WorkspacePool"]
+
+
+class WorkspacePool:
+    """Bounded free-list of sweep workspaces, keyed by buffer shape.
+
+    A checked-out workspace is exclusively owned by its borrower until
+    checked back in (the kernels' aliasing contract).  Bounds: at most
+    ``max_idle_per_key`` idle workspaces per shape and
+    ``max_idle_total`` overall — a campaign over many block layouts
+    cannot hoard unbounded scratch memory; overflow is simply dropped
+    to the garbage collector.
+    """
+
+    def __init__(self, max_idle_per_key: int = 8,
+                 max_idle_total: int = 64):
+        if max_idle_per_key < 1 or max_idle_total < 1:
+            raise ValueError("pool bounds must be >= 1")
+        self.max_idle_per_key = max_idle_per_key
+        self.max_idle_total = max_idle_total
+        self._idle: dict[tuple, list[SweepWorkspace]] = {}
+        self._idle_count = 0
+        # Amortization accounting (surfaced by campaign summaries).
+        self.created = 0
+        self.reused = 0
+        self.dropped = 0
+
+    @staticmethod
+    def _key(n: int, lo: int, hi: int, dtype) -> tuple:
+        return (n, lo, hi, resolve_dtype(dtype).name)
+
+    def checkout(self, problem, delta: float, lo: int = 0,
+                 hi: Optional[int] = None, dtype=None) -> SweepWorkspace:
+        """A workspace for ``(problem, delta, [lo, hi), dtype)`` —
+        recycled and rebound when a matching shape is idle, freshly
+        constructed otherwise."""
+        n = problem.grid.n
+        hi = n if hi is None else hi
+        idle = self._idle.get(self._key(n, lo, hi, dtype))
+        if idle:
+            ws = idle.pop()
+            self._idle_count -= 1
+            ws.rebind(problem, delta)
+            self.reused += 1
+            return ws
+        self.created += 1
+        return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype)
+
+    def checkin(self, ws: SweepWorkspace) -> None:
+        """Return a workspace to the free-list (drop it when full)."""
+        key = self._key(ws.n, ws.lo, ws.hi, ws.dtype)
+        idle = self._idle.setdefault(key, [])
+        if (len(idle) >= self.max_idle_per_key
+                or self._idle_count >= self.max_idle_total):
+            self.dropped += 1
+            return
+        idle.append(ws)
+        self._idle_count += 1
+
+    @property
+    def idle(self) -> int:
+        return self._idle_count
+
+    def clear(self) -> None:
+        """Drop every idle workspace (counters are kept)."""
+        self._idle.clear()
+        self._idle_count = 0

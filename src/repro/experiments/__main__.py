@@ -6,9 +6,21 @@ Usage::
     python -m repro.experiments fig5 [--alphas 1,2,4,8] [--full]
     python -m repro.experiments fig6 [--alphas 1,2,4,8] [--full]
     python -m repro.experiments all
+    python -m repro.experiments campaign [--fig 5|6 | --n N] [options]
 
 ``--full`` runs the paper's actual problem sizes (equivalent to setting
 ``REPRO_FULL=1``); default is the laptop-scale ratio-preserving setup.
+
+``campaign`` runs a whole grid through the batched campaign engine
+(:mod:`repro.campaign`): pooled sweep workspaces, keep-alive worker
+pools, and — with ``--cache-dir`` — a persistent result cache, so
+re-running the same command is served from disk instead of re-solving.
+``--fig 5``/``--fig 6`` regenerates that figure's grid through the
+engine; ``--n`` runs a custom matrix over the given axes.  With
+``--warm-start``, delta-sweep groups are chained so each solve starts
+from its neighbour's solution.  ``--min-cache-hits K`` exits non-zero
+when fewer than K jobs were served from cache — the CI smoke job uses
+it to assert that a second pass actually hits.
 """
 
 from __future__ import annotations
@@ -17,7 +29,13 @@ import argparse
 import os
 import sys
 
-from .figures import FIG5_N, FIG6_N, check_paper_claims, figure_series
+from .figures import (
+    FIG5_N,
+    FIG6_N,
+    check_paper_claims,
+    figure_series,
+    scaled_size,
+)
 from .reporting import figure_report, format_table
 from .table1 import audit_table1
 
@@ -58,13 +76,65 @@ def cmd_figure(n_paper: int, alphas: tuple[int, ...]) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from ..campaign import Campaign, ResultCache, expand_matrix
+    from .figures import figure_jobs
+
+    cache = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    if args.fig:
+        n_paper = FIG5_N if args.fig == 5 else FIG6_N
+        _n, _alphas, baseline, job_for = figure_jobs(
+            n_paper, peer_counts=args.alphas, schemes=args.schemes,
+            cluster_counts=args.clusters, tol=args.tol,
+            dtype=args.dtype, executor=args.executor,
+        )
+        jobs = [baseline, *job_for.values()]
+        title = f"Figure {args.fig} grid (paper n={n_paper})"
+    else:
+        jobs = expand_matrix(
+            ns=[args.n], n_peers=args.alphas, n_clusters=args.clusters,
+            schemes=args.schemes, deltas=args.deltas or (None,),
+            dtypes=[args.dtype], executors=[args.executor], tol=args.tol,
+        )
+        title = f"campaign matrix (n={args.n})"
+    print(f"{title}: {len(jobs)} job(s)"
+          + (f", cache at {args.cache_dir}" if args.cache_dir else ""),
+          flush=True)
+
+    def progress(record):
+        print(f"  [{record.source:5s}] {record.job.label()}  "
+              f"({record.wall_time:.2f}s wall)", flush=True)
+
+    with Campaign(jobs, cache=cache, warm_start=args.warm_start) as campaign:
+        outcome = campaign.run(progress=progress)
+    rows = outcome.rows()
+    headers = sorted({k for row in rows for k in row})
+    print()
+    print(format_table(headers, [[row.get(h, "") for h in headers]
+                                 for row in rows], title=title))
+    pool = campaign.workspace_pool
+    print(f"\njobs: {outcome.n_jobs}  solved: {outcome.runs}  "
+          f"cache hits: {outcome.cache_hits}  "
+          f"duplicates: {outcome.duplicates}")
+    if pool is not None:
+        print(f"workspace pool: {pool.created} created, "
+              f"{pool.reused} reused")
+    if args.min_cache_hits and outcome.cache_hits < args.min_cache_hits:
+        print(f"FAIL: expected >= {args.min_cache_hits} cache hits, "
+              f"got {outcome.cache_hits}")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "target", choices=["table1", "fig5", "fig6", "all"],
+        "target", choices=["table1", "fig5", "fig6", "all", "campaign"],
     )
     parser.add_argument(
         "--alphas", default="1,2,4,8",
@@ -75,10 +145,47 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="run the paper's actual problem sizes (96³ / 144³)",
     )
+    group = parser.add_argument_group("campaign options")
+    group.add_argument("--fig", type=int, choices=[5, 6], default=None,
+                       help="regenerate this figure's grid through the "
+                            "campaign engine")
+    group.add_argument("--n", type=int, default=None,
+                       help="custom-matrix problem size (ignored with "
+                            "--fig)")
+    group.add_argument("--schemes", default="synchronous,asynchronous,hybrid",
+                       help="comma-separated schemes")
+    group.add_argument("--clusters", default="1,2",
+                       help="comma-separated cluster counts")
+    group.add_argument("--deltas", default="",
+                       help="comma-separated relaxation steps (delta "
+                            "sweep); empty = the problem default")
+    group.add_argument("--tol", type=float, default=1e-4)
+    group.add_argument("--dtype", default="float64",
+                       choices=["float64", "float32"])
+    group.add_argument("--executor", default="inline",
+                       choices=["inline", "process"])
+    group.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory (created "
+                            "if missing); omit for no cross-run cache")
+    group.add_argument("--warm-start", action="store_true",
+                       help="seed each delta-sweep solve from its "
+                            "neighbour's solution")
+    group.add_argument("--min-cache-hits", type=int, default=0,
+                       help="exit 1 when fewer jobs were served from "
+                            "the cache (CI smoke assertion)")
     args = parser.parse_args(argv)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
-    alphas = tuple(int(a) for a in args.alphas.split(","))
+    args.alphas = tuple(int(a) for a in args.alphas.split(","))
+    alphas = args.alphas
+
+    if args.target == "campaign":
+        args.schemes = tuple(s for s in args.schemes.split(",") if s)
+        args.clusters = tuple(int(c) for c in args.clusters.split(","))
+        args.deltas = tuple(float(d) for d in args.deltas.split(",") if d)
+        if args.fig is None and args.n is None:
+            args.n = scaled_size(FIG5_N)
+        return cmd_campaign(args)
 
     rc = 0
     if args.target in ("table1", "all"):

@@ -22,10 +22,11 @@ import dataclasses
 from typing import Optional, Sequence
 
 
-from .harness import DEFAULT_TOL, RunResult, full_mode, run_configuration
+from .harness import DEFAULT_TOL, RunResult, full_mode
 
 __all__ = [
     "FigureSeries",
+    "figure_jobs",
     "figure_series",
     "check_paper_claims",
     "PAPER_PEER_COUNTS",
@@ -84,6 +85,47 @@ class FigureSeries:
         return [r.efficiency(t1) for r in self.series(scheme, clusters)]
 
 
+def figure_jobs(
+    n_paper: int,
+    peer_counts: Sequence[int] = PAPER_PEER_COUNTS,
+    schemes: Sequence[str] = ("synchronous", "asynchronous", "hybrid"),
+    cluster_counts: Sequence[int] = (1, 2),
+    tol: float = DEFAULT_TOL,
+    n_override: Optional[int] = None,
+    dtype: str = "float64",
+    executor: str = "inline",
+):
+    """The campaign jobs of one figure's grid.
+
+    Returns ``(n, peer_counts, baseline_job, job_for)``: the run size,
+    the machine counts actually used (clipped to α ≤ n), the α = 1
+    baseline job every series shares, and a map from each multi-peer
+    ``(scheme, clusters, alpha)`` cell to its job.
+    """
+    from ..campaign import CampaignJob
+
+    n = n_override if n_override is not None else scaled_size(n_paper)
+    peer_counts = tuple(a for a in peer_counts if a <= n)
+
+    def job(alpha: int, clusters: int, scheme: str) -> "CampaignJob":
+        return CampaignJob(
+            n=n, n_peers=alpha, n_clusters=clusters, scheme=scheme,
+            tol=tol, n_paper=n_paper, dtype=dtype, executor=executor,
+        )
+
+    baseline = job(1, 1, "synchronous")
+    job_for: dict[tuple[str, int, int], CampaignJob] = {}
+    for scheme in schemes:
+        for clusters in cluster_counts:
+            for alpha in peer_counts:
+                if alpha == 1 or clusters > alpha:
+                    continue
+                key = (scheme, clusters, alpha)
+                if key not in job_for:
+                    job_for[key] = job(alpha, clusters, scheme)
+    return n, tuple(peer_counts), baseline, job_for
+
+
 def figure_series(
     n_paper: int,
     peer_counts: Sequence[int] = PAPER_PEER_COUNTS,
@@ -91,34 +133,32 @@ def figure_series(
     cluster_counts: Sequence[int] = (1, 2),
     tol: float = DEFAULT_TOL,
     n_override: Optional[int] = None,
+    cache=None,
 ) -> FigureSeries:
     """Regenerate one figure's full data set.
 
     α = 1 is run once (cluster split is meaningless for one machine) and
     shared by both cluster series, like the paper's plots.
+
+    The grid executes through the campaign engine: one workspace pool
+    serves every run, and passing a
+    :class:`~repro.campaign.ResultCache` lets a re-regeneration (or an
+    overlapping figure) skip already-solved cells.  Pooled execution is
+    bit-identical to the historical per-run loop.
     """
-    n = n_override if n_override is not None else scaled_size(n_paper)
-    peer_counts = tuple(a for a in peer_counts if a <= n)
-    results: dict[tuple[str, int, int], RunResult] = {}
-    baseline = run_configuration(
-        n=n, n_peers=1, n_clusters=1, scheme="synchronous",
-        n_paper=n_paper, tol=tol,
+    from ..campaign import Campaign
+
+    n, peer_counts, baseline_job, job_for = figure_jobs(
+        n_paper, peer_counts, schemes, cluster_counts, tol, n_override,
     )
+    with Campaign([baseline_job, *job_for.values()], cache=cache) as campaign:
+        outcome = campaign.run()
+    results: dict[tuple[str, int, int], RunResult] = {}
+    baseline = outcome.result_for(baseline_job)
     for scheme in schemes:
         results[(scheme, 1, 1)] = baseline
-        for clusters in cluster_counts:
-            for alpha in peer_counts:
-                if alpha == 1:
-                    continue
-                if clusters > alpha:
-                    continue
-                key = (scheme, clusters, alpha)
-                if key in results:
-                    continue
-                results[key] = run_configuration(
-                    n=n, n_peers=alpha, n_clusters=clusters, scheme=scheme,
-                    n_paper=n_paper, tol=tol,
-                )
+    for key, job in job_for.items():
+        results[key] = outcome.result_for(job)
     return FigureSeries(
         n_paper=n_paper, n=n, peer_counts=tuple(peer_counts), results=results
     )

@@ -27,6 +27,7 @@ from typing import Any, Optional
 
 
 from ..core.environment import P2PDC
+from ..numerics.tolerances import resolve_dtype
 from ..p2psap.context import Scheme
 from ..simnet.oedl import ExperimentDescription
 from ..simnet.topology import NICTA_SPEC, TestbedSpec
@@ -119,11 +120,24 @@ def run_configuration(
     seed: int = 0,
     timeout: float = 1e7,
     extra_params: Optional[dict] = None,
+    *,
+    dtype: Optional[object] = None,
+    executor: Optional[str] = None,
+    delta: Optional[float] = None,
+    warm_start_u=None,
+    warm_start_label: Optional[str] = None,
 ) -> RunResult:
     """Run one (n, α, clusters, scheme) configuration end to end.
 
     ``n_paper`` enables ratio-preserving scaling (see :func:`scaled_spec`);
     None runs at the given size on the unscaled NICTA spec.
+
+    The keyword-only extras mirror the solver params the campaign
+    engine drives: iterate ``dtype`` (float64/float32), sweep
+    ``executor`` ("inline"/"process"), relaxation step ``delta``
+    (None = the problem's Jacobi step), and an optional full-iterate
+    warm start (``warm_start_u`` must carry the solve's dtype;
+    ``warm_start_label`` names its source in the report provenance).
     """
     scheme = Scheme.parse(scheme)
     spec = NICTA_SPEC if n_paper is None or n >= n_paper else scaled_spec(n, n_paper)
@@ -140,6 +154,22 @@ def run_configuration(
     env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml)
     env.register_everywhere(ObstacleApplication())
     params = {"n": n, "tol": tol, "problem": problem}
+    # Canonical params: a default value never enters the dict, so e.g.
+    # dtype="float64" and dtype=None build byte-identical SUBTASK
+    # payloads — the modeled dispatch cost (and hence simulated time)
+    # cannot depend on *how* a caller spelled the default.  The campaign
+    # engine's pooled runs rely on this to stay bit-identical to cold
+    # calls.
+    if dtype is not None and resolve_dtype(dtype).name != "float64":
+        params["dtype"] = resolve_dtype(dtype).name
+    if executor is not None and executor != "inline":
+        params["executor"] = executor
+    if delta is not None:
+        params["delta"] = float(delta)
+    if warm_start_u is not None:
+        params["warm_start_u"] = warm_start_u
+        if warm_start_label is not None:
+            params["warm_start_label"] = warm_start_label
     if extra_params:
         params.update(extra_params)
     run = env.run_to_completion(

@@ -71,11 +71,12 @@ live in :mod:`repro.numerics.tolerances`.
 from __future__ import annotations
 
 import os
+import time
 from typing import Optional
 
 import numpy as np
 
-from .obstacle import ObstacleProblem
+from .obstacle import ObstacleProblem, membrane_problem
 from .tolerances import check_dtype, resolve_dtype
 
 __all__ = [
@@ -83,17 +84,30 @@ __all__ = [
     "jacobi_sweep",
     "gauss_seidel_sweep",
     "block_sweep",
+    "autotune_slab_bytes",
+    "clear_slab_autotune",
+    "seed_slab_autotune",
+    "checkout_workspace",
+    "checkin_workspace",
+    "set_workspace_pool",
 ]
 
-#: Default target size (bytes) of the per-slab working set; slabs are
-#: sized so roughly three slab-arrays fit in L2 together.  A fixed 1 MiB
-#: is a guess at a common L2 — machines with smaller (or much larger)
-#: caches can correct it at runtime with ``REPRO_SLAB_BYTES`` without
-#: editing source (first step toward auto-tuned slabs).
+#: Fallback target size (bytes) of the per-slab working set; slabs are
+#: sized so roughly three slab-arrays fit in L2 together.  This is also
+#: the first auto-tuning candidate — see :func:`autotune_slab_bytes`.
 _SLAB_TARGET_BYTES = 1 << 20
 
 #: Environment override for the slab working-set target, in bytes.
 _SLAB_ENV = "REPRO_SLAB_BYTES"
+
+#: The two candidate working-set targets the auto-tuner times on first
+#: use: the conservative 1 MiB guess (shared or small L2) and a roomier
+#: 2 MiB target (typical per-core L2 on recent x86/ARM server parts,
+#: where larger slabs mean fewer slab-boundary passes).
+_SLAB_CANDIDATES = (1 << 20, 1 << 21)
+
+#: Cached auto-tuning verdict for this process (None = not yet tuned).
+_tuned_slab_bytes: Optional[int] = None
 
 
 def _slab_target_bytes() -> int:
@@ -102,11 +116,14 @@ def _slab_target_bytes() -> int:
     The override must parse as a positive integer (plain, or 0x/0o/0b
     prefixed); anything else raises ``ValueError`` rather than silently
     mis-sizing every sweep.  Read per workspace construction, so tests
-    and long-running processes can adjust it without reimporting.
+    and long-running processes can adjust it without reimporting.  When
+    the override is *not* set, the first construction triggers a one-off
+    measurement of the candidate targets (:func:`autotune_slab_bytes`)
+    and the winner is used for the rest of the process.
     """
     raw = os.environ.get(_SLAB_ENV)
     if raw is None or raw.strip() == "":
-        return _SLAB_TARGET_BYTES
+        return autotune_slab_bytes()
     try:
         value = int(raw, 0)
     except ValueError:
@@ -118,11 +135,86 @@ def _slab_target_bytes() -> int:
     return value
 
 
-def _default_slab(n: int, n_planes: int, itemsize: int = 8) -> int:
+def autotune_slab_bytes() -> int:
+    """The process-wide slab target: measured once, then cached.
+
+    When ``REPRO_SLAB_BYTES`` is set its value seeds the choice and the
+    measurement is skipped entirely.  Otherwise each candidate in
+    ``_SLAB_CANDIDATES`` is timed on a small synthetic sweep (best of a
+    few runs, so one scheduler hiccup cannot crown the wrong winner) and
+    the fastest wins.  The verdict only ever affects *performance*: slab
+    partitioning is bit-transparent to the sweep results, so tuning can
+    never change an iterate.  Worker processes never re-measure: the
+    pool creator resolves the verdict first and ships it in the spawn
+    arguments (:func:`seed_slab_autotune`).
+    """
+    global _tuned_slab_bytes
+    raw = os.environ.get(_SLAB_ENV)
+    if raw is not None and raw.strip() != "":
+        return _slab_target_bytes()
+    if _tuned_slab_bytes is not None:
+        return _tuned_slab_bytes
+    _tuned_slab_bytes = _measure_slab_candidates()
+    return _tuned_slab_bytes
+
+
+def clear_slab_autotune() -> None:
+    """Forget the cached auto-tuning verdict (test isolation hook)."""
+    global _tuned_slab_bytes
+    _tuned_slab_bytes = None
+
+
+def seed_slab_autotune(value: int) -> None:
+    """Install a known tuning verdict without measuring.
+
+    Worker processes call this with the creator's verdict (shipped in
+    the spawn arguments) so no worker ever re-measures — regardless of
+    multiprocessing start method; under ``spawn``/``forkserver`` the
+    module state is *not* inherited, only fork gets it for free.
+    """
+    global _tuned_slab_bytes
+    if value <= 0:
+        raise ValueError(f"slab target must be positive, got {value}")
+    _tuned_slab_bytes = int(value)
+
+
+def _measure_slab_candidates(n: int = 48, repeats: int = 3) -> int:
+    """Time one Jacobi sweep per candidate target; return the winner.
+
+    The tuning grid is sized so the candidates actually disagree (at
+    48³/float64 the block exceeds the smaller target's cache budget but
+    fits the larger one's) while one sweep stays ~1 ms — the whole
+    measurement is a few tens of milliseconds, paid once per process.
+    """
+    problem = membrane_problem(n)
+    delta = problem.jacobi_delta()
+    u0 = problem.feasible_start()
+    best_target = _SLAB_CANDIDATES[0]
+    best_time = float("inf")
+    for target in _SLAB_CANDIDATES:
+        # Explicit slab argument: no recursion into the tuner.
+        ws = SweepWorkspace(problem, delta,
+                            slab=_default_slab(n, n, 8, target=target))
+        nxt = ws.rotation_buffer()
+        jacobi_sweep(ws, u0, nxt)  # warm-up (page faults, caches)
+        elapsed = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            jacobi_sweep(ws, u0, nxt)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        if elapsed < best_time:
+            best_time = elapsed
+            best_target = target
+    return best_target
+
+
+def _default_slab(n: int, n_planes: int, itemsize: int = 8,
+                  target: Optional[int] = None) -> int:
     """Planes per slab: the whole block when it is small enough to stay
     cache-resident, otherwise a few planes.  ``itemsize`` is the buffer
     dtype's width — float32 fits twice the planes per slab."""
-    target = _slab_target_bytes()
+    if target is None:
+        target = _slab_target_bytes()
     plane_bytes = itemsize * n * n
     if n_planes * plane_bytes * 3 <= 2 * target:
         return n_planes
@@ -158,14 +250,35 @@ class SweepWorkspace:
             raise ValueError(f"invalid plane range [{lo}, {hi}) for n={n}")
         if delta <= 0:
             raise ValueError("delta must be positive")
-        self.problem = problem
-        self.delta = delta
         self.dtype = resolve_dtype(dtype)
         self.lo = lo
         self.hi = hi
         self.n = n
         m = hi - lo
         self.n_planes = m
+        self._bake(problem, delta)
+
+        self.slab = slab if slab is not None else \
+            _default_slab(n, m, self.dtype.itemsize)
+        if self.slab < 1:
+            raise ValueError("slab must be >= 1")
+        # Slab scratch (neighbour sums, then |new − old|).  The GS
+        # staging array — a full block-sized buffer only the
+        # plane-sequential kernel touches — is allocated on first use.
+        self._nb = np.empty((min(self.slab, m), n, n), dtype=self.dtype)
+        self._stage: Optional[np.ndarray] = None
+
+    def _bake(self, problem: ObstacleProblem, delta: float) -> None:
+        """(Re)compute everything derived from ``(problem, delta)``.
+
+        Shared by ``__init__`` and :meth:`rebind` so a pooled workspace
+        rebound to a new problem/delta carries *exactly* the constants a
+        freshly constructed one would — pooled sweeps stay bit-identical
+        to cold ones.
+        """
+        self.problem = problem
+        self.delta = delta
+        lo, hi = self.lo, self.hi
         h2 = problem.grid.h ** 2
         self.d = delta / h2
         self.a = 1.0 - delta * (6.0 + problem.c * h2) / h2
@@ -183,15 +296,23 @@ class SweepWorkspace:
         self._lower_planes = self._plane_views(self.lower)
         self._upper_planes = self._plane_views(self.upper)
 
-        self.slab = slab if slab is not None else \
-            _default_slab(n, m, self.dtype.itemsize)
-        if self.slab < 1:
-            raise ValueError("slab must be >= 1")
-        # Slab scratch (neighbour sums, then |new − old|).  The GS
-        # staging array — a full block-sized buffer only the
-        # plane-sequential kernel touches — is allocated on first use.
-        self._nb = np.empty((min(self.slab, m), n, n), dtype=self.dtype)
-        self._stage: Optional[np.ndarray] = None
+    def rebind(self, problem: ObstacleProblem, delta: float) -> None:
+        """Re-aim this workspace at a new ``(problem, delta)`` pair.
+
+        The checkout/reset hook of the campaign workspace pool: the
+        expensive allocations (slab scratch, GS staging) survive, only
+        the cheap baked constants are recomputed.  The new problem must
+        live on the same grid (the buffer shapes are sized to it) and
+        the dtype is unchanged — pools key on ``(n, lo, hi, dtype)``.
+        """
+        if problem.grid.n != self.n:
+            raise ValueError(
+                f"cannot rebind a {self.n}³ workspace to an "
+                f"{problem.grid.n}³ problem"
+            )
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self._bake(problem, delta)
 
     def _as_dtype(self, field: np.ndarray) -> np.ndarray:
         """The field itself at float64 (no copy — bit-identical default
@@ -405,3 +526,47 @@ def block_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
     if order == "jacobi":
         return jacobi_sweep(ws, cur, nxt, ghost_below, ghost_above)
     raise ValueError(f"unknown sweep order {order!r}")
+
+
+# -- workspace pooling hooks ------------------------------------------------------
+#
+# A sweep campaign runs dozens of near-identical solves; re-allocating
+# every workspace's slab scratch + staging buffer per solve is pure
+# setup cost.  The campaign engine (repro.campaign) installs a pool
+# here; solver-layer callers go through checkout/checkin and never know
+# whether a workspace is fresh or recycled.  The pool duck-type is
+# ``checkout(problem, delta, lo, hi, dtype) -> SweepWorkspace`` and
+# ``checkin(ws)``; with no pool installed both hooks degrade to plain
+# construction / no-op.  Kept here (the lowest layer) so the solver
+# never imports the campaign package — no upward dependency.
+
+_workspace_pool = None
+
+
+def set_workspace_pool(pool):
+    """Install ``pool`` as the process-wide workspace provider; returns
+    the previously installed pool (restore it when done — the campaign
+    engine brackets its run with exactly that save/restore)."""
+    global _workspace_pool
+    previous = _workspace_pool
+    _workspace_pool = pool
+    return previous
+
+
+def checkout_workspace(problem: ObstacleProblem, delta: float,
+                       lo: int = 0, hi: Optional[int] = None,
+                       dtype=None) -> SweepWorkspace:
+    """A workspace for ``(problem, delta, [lo, hi), dtype)`` — recycled
+    from the installed pool when one is available, freshly built
+    otherwise.  Pair with :func:`checkin_workspace`."""
+    if _workspace_pool is not None:
+        return _workspace_pool.checkout(problem, delta, lo=lo, hi=hi,
+                                        dtype=dtype)
+    return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype)
+
+
+def checkin_workspace(ws: SweepWorkspace) -> None:
+    """Return a checked-out workspace; a no-op when no pool is
+    installed (the workspace is garbage-collected as before)."""
+    if _workspace_pool is not None:
+        _workspace_pool.checkin(ws)

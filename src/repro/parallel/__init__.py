@@ -34,6 +34,7 @@ from .pool import ShardPool
 from .runner import (
     ParallelBlockRunner,
     acquire_shared_runner,
+    rebind_shared_runner,
     release_shared_runner,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "ShardPool",
     "ParallelBlockRunner",
     "acquire_shared_runner",
+    "rebind_shared_runner",
     "release_shared_runner",
 ]

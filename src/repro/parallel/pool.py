@@ -50,14 +50,22 @@ def _start_method(explicit: Optional[str]) -> Optional[str]:
 
 def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
                  delta: float, shards: Sequence[int],
-                 untrack: bool) -> None:
+                 untrack: bool, slab_bytes: int) -> None:
     """Worker body: attach, build workspaces, serve sweeps until close."""
     # Imported here (not at module top): the solvers package imports the
     # runner, so a top-level import would be circular — and under fork
     # the modules are already in the child anyway.
-    from ..numerics.kernels import SweepWorkspace, block_sweep
+    from ..numerics.kernels import (
+        SweepWorkspace,
+        block_sweep,
+        seed_slab_autotune,
+    )
     from ..solvers.distributed_richardson import get_problem
 
+    # The creator's slab-tuning verdict rides the spawn args: workers
+    # must never burn their startup on re-measuring candidates (under
+    # spawn/forkserver the cached module state is not inherited).
+    seed_slab_autotune(slab_bytes)
     arena = SharedPlaneArena.attach(arena_spec, untrack=untrack)
     try:
         problem = get_problem(problem_kind, arena.n)
@@ -75,6 +83,19 @@ def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
                 break
             if cmd[0] == "ping":
                 conn.send(("pong",))
+                continue
+            if cmd[0] == "rebind":
+                # Campaign keep-alive: re-aim every owned workspace at a
+                # new delta without tearing the pool down.  rebind()
+                # recomputes exactly what a fresh construction would, so
+                # post-rebind sweeps are bit-identical to a cold pool's.
+                delta = cmd[1]
+                try:
+                    for ws in workspaces.values():
+                        ws.rebind(problem, delta)
+                    conn.send(("rebound", delta))
+                except Exception as err:  # pragma: no cover - defensive
+                    conn.send(("error", None, repr(err)))
                 continue
             if cmd[0] != "sweep":  # pragma: no cover - protocol guard
                 conn.send(("error", None, f"unknown command {cmd[0]!r}"))
@@ -137,11 +158,18 @@ class ShardPool:
         for w, group in enumerate(groups):
             for shard in group:
                 self._owner[shard] = w
+        # Resolve the slab-tuning verdict once, here, before any worker
+        # exists: the creator pays the (one-off, ~10 ms) measurement and
+        # every worker is seeded with the result.
+        from ..numerics.kernels import autotune_slab_bytes
+
+        slab_bytes = autotune_slab_bytes()
         for w, group in enumerate(groups):
             parent, child = self._ctx.Pipe()
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child, arena.spec, problem_kind, delta, group, untrack),
+                args=(child, arena.spec, problem_kind, delta, group,
+                      untrack, slab_bytes),
                 name=f"repro-shard-worker-{w}",
                 daemon=True,
             )
@@ -169,12 +197,38 @@ class ShardPool:
         """Which worker serves ``shard``."""
         return self._owner[shard]
 
+    def _check_open(self) -> None:
+        """Campaign keep-alive makes pool lifetimes long and shared;
+        using a closed pool must fail loudly here, not as an opaque
+        ``BrokenPipeError`` (or a silent hang) from a dead worker."""
+        if self._closed:
+            raise RuntimeError(
+                "ShardPool is closed — its workers are gone; acquire a "
+                "fresh runner instead of reusing a released one"
+            )
+
     def submit(self, shard: int, flip: int, order: str) -> None:
         """Queue one sweep of ``shard``; pair with :meth:`collect`."""
+        self._check_open()
         self._conns[self._owner[shard]].send(("sweep", shard, flip, order))
+
+    def rebind(self, delta: float) -> None:
+        """Re-aim every worker's workspaces at a new ``delta`` (campaign
+        keep-alive across a delta sweep).  All sweeps must have been
+        collected first; the runner enforces that."""
+        self._check_open()
+        if any(self._stash):
+            raise RuntimeError("cannot rebind with uncollected sweeps")
+        for conn in self._conns:
+            conn.send(("rebind", delta))
+        for w, conn in enumerate(self._conns):
+            msg = conn.recv()
+            if msg[0] != "rebound":
+                raise RuntimeError(f"worker {w} failed to rebind: {msg!r}")
 
     def collect(self, shard: int) -> float:
         """Block until ``shard``'s oldest outstanding sweep finishes."""
+        self._check_open()
         w = self._owner[shard]
         stash = self._stash[w]
         if shard in stash:

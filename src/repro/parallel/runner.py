@@ -40,6 +40,7 @@ __all__ = [
     "ParallelBlockRunner",
     "acquire_shared_runner",
     "release_shared_runner",
+    "rebind_shared_runner",
 ]
 
 
@@ -123,9 +124,11 @@ class ParallelBlockRunner:
         return self.block(shard)[-1]
 
     def ghost_below(self, shard: int) -> Optional[np.ndarray]:
+        self._check_open()
         return self.arena.ghost_below(shard)
 
     def ghost_above(self, shard: int) -> Optional[np.ndarray]:
+        self._check_open()
         return self.arena.ghost_above(shard)
 
     def set_ghost_below(self, shard: int, plane: np.ndarray) -> None:
@@ -169,6 +172,7 @@ class ParallelBlockRunner:
 
     def exchange_ghosts(self) -> None:
         """Zero-latency synchronous boundary exchange between shards."""
+        self._check_open()
         for k in range(self.n_shards - 1):
             np.copyto(self.arena.ghost_below(k + 1), self.last_plane(k))
             np.copyto(self.arena.ghost_above(k), self.first_plane(k + 1))
@@ -215,13 +219,40 @@ class ParallelBlockRunner:
         self.exchange_ghosts()
         return max(diffs)
 
+    # -- campaign keep-alive ------------------------------------------------------
+
+    def rebind_delta(self, delta: float) -> None:
+        """Re-aim the live worker pool at a new relaxation step.
+
+        The campaign engine keeps one runner (arena + worker pool) alive
+        across a delta sweep; between solves it rebinds instead of
+        tearing down and re-forking.  Workers rebuild exactly the baked
+        constants a fresh pool would carry, so post-rebind solves are
+        bit-identical to cold ones.  All sweeps must be collected first.
+        """
+        self._check_open()
+        if self._pending:
+            raise RuntimeError(
+                f"sweeps in flight for shards {sorted(self._pending)}; "
+                "collect them before rebinding"
+            )
+        delta = float(delta)
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.pool.rebind(delta)
+        self.delta = delta
+
     # -- lifecycle ---------------------------------------------------------------
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("runner is closed")
+            raise RuntimeError(
+                "runner is closed (its pool and shared-memory arena are "
+                "gone); acquire a fresh one"
+            )
 
     def _check_idle(self, shard: int) -> None:
+        self._check_open()
         if shard in self._pending:
             raise RuntimeError(
                 f"shard {shard} has a sweep in flight; its views are "
@@ -280,15 +311,64 @@ def acquire_shared_runner(problem_kind: str, n: int,
 
 
 def release_shared_runner(runner: ParallelBlockRunner) -> None:
-    """Drop one reference; the last reference closes pool + arena."""
+    """Drop one reference; the last reference closes pool + arena.
+
+    Releasing a runner that is not registered — never acquired through
+    :func:`acquire_shared_runner`, or already fully released — raises
+    instead of quietly closing: with campaign keep-alive a double
+    release would otherwise shut a pool down underneath its remaining
+    holders (and the next acquire would hand out a corpse).
+    """
     with _shared_lock:
         key = _runner_keys.get(id(runner))
         if key is None:
-            runner.close()
-            return
+            raise RuntimeError(
+                "runner is not in the shared registry — it was never "
+                "acquired via acquire_shared_runner, or this is a double "
+                "release after the last reference already closed it"
+            )
         entry = _shared[key]
         entry[1] -= 1
         if entry[1] <= 0:
             del _shared[key]
             del _runner_keys[id(runner)]
             runner.close()
+
+
+def rebind_shared_runner(runner: ParallelBlockRunner, delta: float) -> None:
+    """Re-key a held shared runner to a new ``delta`` (campaign path).
+
+    The campaign engine holds exactly one keep-alive reference between
+    solves; when the next job in a delta sweep wants the same
+    ``(problem, n, ranges, dtype)`` at a different step size, the held
+    pool is rebound and re-registered under the new key so the solver's
+    own ``acquire_shared_runner`` call finds it.  Refuses when anyone
+    besides the single keep-alive holder still references the runner
+    (a live solve would observe its delta changing mid-flight), and on
+    key collisions (a distinct runner already serves the target key).
+    """
+    with _shared_lock:
+        key = _runner_keys.get(id(runner))
+        if key is None:
+            raise RuntimeError(
+                "runner is not in the shared registry; only runners held "
+                "via acquire_shared_runner can be rebound"
+            )
+        entry = _shared[key]
+        if entry[1] != 1:
+            raise RuntimeError(
+                f"runner has {entry[1]} references; rebinding needs "
+                "exactly one (the campaign keep-alive lease)"
+            )
+        new_key = key[:3] + (float(delta),) + key[4:]
+        if new_key == key:
+            return
+        if new_key in _shared:
+            raise RuntimeError(
+                "another shared runner already serves the target "
+                "configuration; release one of them first"
+            )
+        runner.rebind_delta(delta)
+        del _shared[key]
+        _shared[new_key] = entry
+        _runner_keys[id(runner)] = new_key

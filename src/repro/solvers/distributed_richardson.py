@@ -139,6 +139,11 @@ class DistributedSolveReport:
     relaxations: float
     per_peer: list[BlockReport]
     residual: float
+    #: Where this solve's starting point came from and how it ran —
+    #: ``{"warm_start": <label or None>, "executor": ..., "dtype": ...}``.
+    #: A warm-started solve is a different trajectory than a cold one;
+    #: campaign result caches key on this so the two never alias.
+    provenance: dict = dataclasses.field(default_factory=dict)
 
     @property
     def max_wait_time(self) -> float:
@@ -172,6 +177,12 @@ class ObstacleApplication(Application):
       termination floor (float32 diffs carry ~1e-7 of quantization
       noise; see :mod:`repro.numerics.tolerances`) — the default
       ``tol=1e-4`` is safe at both precisions.
+    - ``warm_start_u``: optional full ``(n, n, n)`` starting iterate
+      (must already carry the solve's dtype); every peer slices its own
+      block + ghosts from it.  ``warm_start_label`` names the source
+      for the report's provenance.  The array rides the SUBTASK
+      dispatch, so its bytes are charged to the simulated network —
+      warm-started elapsed times are not comparable to cold ones.
     """
 
     name = "obstacle"
@@ -237,6 +248,7 @@ def assemble_report(reports: list[BlockReport], u: np.ndarray) -> DistributedSol
         relaxations=relaxations,
         per_peer=reports,
         residual=problem.residual_norm(u),
+        provenance=dict(meta.extra.get("provenance", {})),
     )
 
 
@@ -329,6 +341,18 @@ class _BlockSolver:
             warm = sub.get("warm_start")
             if warm is not None:
                 self.state.warm_start(np.asarray(warm))
+            # Campaign warm start: the whole previous solution rides the
+            # params (every peer slices its own planes + ghosts from
+            # it).  Unlike the per-subtask checkpoint restart above,
+            # this is a *different problem's* solution used as the
+            # starting iterate — the trajectory is legitimately
+            # different from a cold solve, so the provenance records it
+            # and result caches key on it.
+            self.warm_source: Optional[str] = None
+            warm_u = params.get("warm_start_u")
+            if warm_u is not None:
+                self._apply_warm_start(warm_u,
+                                       params.get("warm_start_label"))
             self.rank = ctx.rank
             self.left = self.rank - 1 if self.rank > 0 else None
             self.right = self.rank + 1 if self.rank + 1 < ctx.n_workers else None
@@ -364,6 +388,28 @@ class _BlockSolver:
             # Nothing past the acquire may leak the shared runner.
             self.close()
             raise
+
+    def _apply_warm_start(self, warm_u, label) -> None:
+        """Start this peer's block (and ghosts) from a full iterate.
+
+        The warm iterate must already carry the solve's dtype — the
+        campaign engine casts once, centrally, before submitting; a
+        mismatched array here is a caller bug and is rejected loudly by
+        the BlockState dtype checks rather than silently promoted.
+        """
+        u = np.asarray(warm_u)
+        shape = (self.n,) * 3
+        if u.shape != shape:
+            raise ValueError(
+                f"warm_start_u must have shape {shape}, got {u.shape}"
+            )
+        state = self.state
+        state.warm_start(np.ascontiguousarray(u[state.lo:state.hi]))
+        if state.ghost_below is not None:
+            state.update_ghost_below(u[state.lo - 1])
+        if state.ghost_above is not None:
+            state.update_ghost_above(u[state.hi])
+        self.warm_source = str(label) if label is not None else "params"
 
     # -- main loop ----------------------------------------------------------------
 
@@ -617,8 +663,12 @@ class _BlockSolver:
     # -- result -------------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the shared sweep runner (idempotent); the last peer
-        out closes the pool and unlinks the arena."""
+        """Release the shared sweep runner and return the pooled sweep
+        workspace (both idempotent); the last peer out closes the pool
+        and unlinks the arena."""
+        state = getattr(self, "state", None)
+        if state is not None:
+            state.release()
         if self._runner is not None:
             from ..parallel import release_shared_runner
 
@@ -642,6 +692,14 @@ class _BlockSolver:
             sends=self.sends,
             receives=self.receives,
             final_diff=self.local_diff,
-            extra={"problem": self.kind, "scheme": self.scheme.value},
+            extra={
+                "problem": self.kind,
+                "scheme": self.scheme.value,
+                "provenance": {
+                    "warm_start": self.warm_source,
+                    "executor": self.executor,
+                    "dtype": self.dtype.name,
+                },
+            },
         )
         return report

@@ -1,0 +1,100 @@
+"""Result cache: content addressing, disk round trips, invalidation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignJob, ResultCache, cache_key
+from repro.campaign.cache import CACHE_SCHEMA
+from repro.experiments.harness import run_configuration
+
+
+@pytest.fixture(scope="module")
+def solved():
+    return run_configuration(n=8, n_peers=2, n_clusters=1,
+                             scheme="synchronous", tol=1e-3)
+
+
+def _key():
+    return cache_key(CampaignJob(n=8, n_peers=2, tol=1e-3).signature())
+
+
+class TestCacheKey:
+    def test_stable_and_canonical(self):
+        sig = CampaignJob(n=8, n_peers=2).signature()
+        assert cache_key(sig) == cache_key(dict(reversed(list(sig.items()))))
+
+    def test_distinct_for_distinct_jobs(self):
+        a = cache_key(CampaignJob(n=8).signature())
+        b = cache_key(CampaignJob(n=10).signature())
+        assert a != b
+
+    def test_warm_edge_changes_key(self):
+        sig = CampaignJob(n=8).signature()
+        assert cache_key(dict(sig, warm_from=None)) != \
+            cache_key(dict(sig, warm_from="abc123"))
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self, solved):
+        cache = ResultCache()
+        key = _key()
+        assert cache.load(key) is None
+        cache.store(key, solved)
+        assert cache.load(key) is solved
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_bounded_memory(self, solved):
+        cache = ResultCache(max_memory_entries=2)
+        for i in range(4):
+            cache.store(f"k{i}", solved)
+        assert cache.load("k0") is None  # evicted
+        assert cache.load("k3") is solved
+
+
+class TestDiskCache:
+    def test_roundtrip_bit_identical(self, tmp_path, solved):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.store(key, solved, signature={"n": 8})
+        # A fresh cache object (new process analogue) must reload it.
+        fresh = ResultCache(tmp_path)
+        loaded = fresh.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.report.u, solved.report.u)
+        assert loaded.report.u.dtype == solved.report.u.dtype
+        assert loaded.elapsed == solved.elapsed
+        assert loaded.relaxations == solved.relaxations
+        assert loaded.residual == solved.residual
+        assert loaded.scheme == solved.scheme
+        assert loaded.max_wait_time == solved.max_wait_time
+        per = list(zip(loaded.report.per_peer, solved.report.per_peer))
+        assert per
+        for got, want in per:
+            assert np.array_equal(got.block, want.block)
+            assert got.relaxations == want.relaxations
+            assert got.converged_at == want.converged_at
+            assert got.final_diff == want.final_diff
+            assert got.extra == want.extra
+
+    def test_schema_mismatch_misses(self, tmp_path, solved):
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.store(key, solved)
+        meta_path = tmp_path / f"{key}.json"
+        meta = json.loads(meta_path.read_text())
+        meta["schema"] = CACHE_SCHEMA + 1
+        meta_path.write_text(json.dumps(meta))
+        assert ResultCache(tmp_path).load(key) is None
+
+    def test_clear_removes_files(self, tmp_path, solved):
+        cache = ResultCache(tmp_path)
+        cache.store(_key(), solved)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).load("deadbeef") is None

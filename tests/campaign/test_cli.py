@@ -1,0 +1,70 @@
+"""The ``python -m repro.experiments campaign`` entry point."""
+
+import numpy as np
+
+from repro.experiments.__main__ import main
+
+ARGS = ["campaign", "--n", "8", "--alphas", "1,2",
+        "--schemes", "synchronous,asynchronous", "--clusters", "1",
+        "--tol", "1e-3"]
+
+
+def test_matrix_runs_and_reports(capsys):
+    assert main(ARGS) == 0
+    out = capsys.readouterr().out
+    assert "4 job(s)" in out
+    assert "solved: 4" in out
+    assert "cache hits: 0" in out
+
+
+def test_second_pass_served_from_disk_cache(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(ARGS + cache) == 0
+    assert main(ARGS + cache + ["--min-cache-hits", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cache hits: 4" in out
+    assert "solved: 0" in out
+
+
+def test_min_cache_hits_gate_fails_cold(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(ARGS + cache + ["--min-cache-hits", "4"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_delta_sweep_axis(capsys):
+    from repro.solvers.distributed_richardson import get_problem
+
+    base = get_problem("membrane", 8).jacobi_delta()
+    rc = main(["campaign", "--n", "8", "--alphas", "2",
+               "--schemes", "synchronous", "--clusters", "1",
+               "--tol", "1e-3", "--warm-start",
+               "--deltas", f"{base * 0.9},{base}"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 job(s)" in out
+    assert "warm_from" in out
+
+
+def test_fig_grid_through_engine(capsys):
+    rc = main(["campaign", "--fig", "5", "--alphas", "1,2",
+               "--schemes", "synchronous", "--clusters", "1",
+               "--tol", "1e-3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 5 grid" in out
+
+
+def test_results_match_direct_harness(capsys):
+    """The CLI is a front end, not a different solver: spot-check one
+    cell against a direct run_configuration call."""
+    from repro.campaign import Campaign, CampaignJob
+    from repro.experiments.harness import run_configuration
+
+    with Campaign([CampaignJob(n=8, n_peers=2, scheme="synchronous",
+                               tol=1e-3)]) as campaign:
+        outcome = campaign.run()
+    cold = run_configuration(n=8, n_peers=2, n_clusters=1,
+                             scheme="synchronous", tol=1e-3)
+    assert np.array_equal(outcome.records[0].result.report.u,
+                          cold.report.u)

@@ -1,0 +1,117 @@
+"""WorkspacePool: reuse, rebind equivalence, bounds, kernel hooks."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import WorkspacePool
+from repro.numerics import kernels
+from repro.numerics.kernels import (
+    SweepWorkspace,
+    checkin_workspace,
+    checkout_workspace,
+    jacobi_sweep,
+    set_workspace_pool,
+)
+from repro.numerics.obstacle import membrane_problem, torsion_problem
+
+N = 12
+
+
+@pytest.fixture
+def problem():
+    return membrane_problem(N)
+
+
+class TestCheckoutCheckin:
+    def test_reuses_matching_shape(self, problem):
+        pool = WorkspacePool()
+        ws = pool.checkout(problem, problem.jacobi_delta(), lo=0, hi=6)
+        pool.checkin(ws)
+        again = pool.checkout(problem, problem.jacobi_delta(), lo=0, hi=6)
+        assert again is ws
+        assert (pool.created, pool.reused) == (1, 1)
+
+    def test_shape_mismatch_builds_fresh(self, problem):
+        pool = WorkspacePool()
+        ws = pool.checkout(problem, problem.jacobi_delta(), lo=0, hi=6)
+        pool.checkin(ws)
+        other = pool.checkout(problem, problem.jacobi_delta(), lo=6, hi=N)
+        assert other is not ws
+        assert pool.created == 2
+
+    def test_dtype_keys_separately(self, problem):
+        pool = WorkspacePool()
+        ws = pool.checkout(problem, problem.jacobi_delta(),
+                           dtype=np.float32)
+        pool.checkin(ws)
+        f64 = pool.checkout(problem, problem.jacobi_delta())
+        assert f64 is not ws
+        assert f64.dtype == np.float64
+
+    def test_rebound_checkout_equals_fresh(self, problem):
+        """The acceptance contract: pooled sweeps are bit-identical."""
+        pool = WorkspacePool()
+        ws = pool.checkout(problem, problem.jacobi_delta())
+        pool.checkin(ws)
+        # Rebind across problem *and* delta.
+        other = torsion_problem(N)
+        delta = other.jacobi_delta() * 0.9
+        recycled = pool.checkout(other, delta)
+        assert recycled is ws
+        fresh = SweepWorkspace(other, delta)
+        u = other.feasible_start()
+        a, b = recycled.rotation_buffer(), fresh.rotation_buffer()
+        assert jacobi_sweep(recycled, u, a) == jacobi_sweep(fresh, u, b)
+        assert np.array_equal(a, b)
+
+    def test_bounds_drop_overflow(self, problem):
+        pool = WorkspacePool(max_idle_per_key=1, max_idle_total=1)
+        a = pool.checkout(problem, problem.jacobi_delta())
+        b = pool.checkout(problem, problem.jacobi_delta())
+        pool.checkin(a)
+        pool.checkin(b)
+        assert pool.idle == 1
+        assert pool.dropped == 1
+
+    def test_clear(self, problem):
+        pool = WorkspacePool()
+        pool.checkin(pool.checkout(problem, problem.jacobi_delta()))
+        pool.clear()
+        assert pool.idle == 0
+
+
+class TestKernelHooks:
+    def test_no_pool_installed_builds_fresh(self, problem):
+        assert kernels._workspace_pool is None
+        ws = checkout_workspace(problem, problem.jacobi_delta())
+        assert isinstance(ws, SweepWorkspace)
+        checkin_workspace(ws)  # no-op, must not raise
+
+    def test_installed_pool_serves_checkouts(self, problem):
+        pool = WorkspacePool()
+        previous = set_workspace_pool(pool)
+        try:
+            ws = checkout_workspace(problem, problem.jacobi_delta())
+            checkin_workspace(ws)
+            assert checkout_workspace(problem, problem.jacobi_delta()) is ws
+            assert pool.reused == 1
+        finally:
+            set_workspace_pool(previous)
+        assert kernels._workspace_pool is previous
+
+    def test_set_returns_previous(self):
+        pool = WorkspacePool()
+        assert set_workspace_pool(pool) is None
+        assert set_workspace_pool(None) is pool
+
+
+class TestRebindValidation:
+    def test_wrong_grid_rejected(self, problem):
+        ws = SweepWorkspace(problem, problem.jacobi_delta())
+        with pytest.raises(ValueError, match="rebind"):
+            ws.rebind(membrane_problem(N + 2), 0.1)
+
+    def test_bad_delta_rejected(self, problem):
+        ws = SweepWorkspace(problem, problem.jacobi_delta())
+        with pytest.raises(ValueError, match="delta"):
+            ws.rebind(problem, 0.0)

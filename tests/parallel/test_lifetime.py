@@ -1,0 +1,166 @@
+"""Runner/pool lifetime hardening + delta rebind (campaign keep-alive).
+
+Campaign keep-alive stretches pool lifetimes across many solves, which
+makes lifetime bugs — double release, use-after-close — likelier; they
+must fail loudly instead of corrupting the shared registry or hanging
+on a dead worker pipe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelBlockRunner,
+    acquire_shared_runner,
+    rebind_shared_runner,
+    release_shared_runner,
+)
+from repro.parallel import runner as runner_mod
+from repro.solvers.distributed_richardson import get_problem
+
+N = 12
+RANGES = [(0, 6), (6, N)]
+
+
+def _delta():
+    return get_problem("membrane", N).jacobi_delta()
+
+
+class TestReleaseHardening:
+    def test_double_release_raises(self):
+        runner = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                       delta=_delta())
+        release_shared_runner(runner)
+        with pytest.raises(RuntimeError, match="double release|not in"):
+            release_shared_runner(runner)
+        assert runner_mod._shared == {}
+
+    def test_release_of_unregistered_runner_raises(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            with pytest.raises(RuntimeError, match="not in the shared"):
+                release_shared_runner(runner)
+        finally:
+            runner.close()
+
+    def test_over_release_does_not_poison_registry(self):
+        """After the error, the same configuration acquires cleanly."""
+        runner = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                       delta=_delta())
+        release_shared_runner(runner)
+        with pytest.raises(RuntimeError):
+            release_shared_runner(runner)
+        fresh = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                      delta=_delta())
+        try:
+            assert np.isfinite(fresh.sweep(0))
+        finally:
+            release_shared_runner(fresh)
+
+
+class TestUseAfterClose:
+    def test_runner_plane_access_raises(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        runner.close()
+        for call in (lambda: runner.block(0),
+                     lambda: runner.sweep(0),
+                     lambda: runner.gather(),
+                     lambda: runner.exchange_ghosts(),
+                     lambda: runner.rebind_delta(0.1),
+                     lambda: runner.set_ghost_below(
+                         1, np.zeros((N, N)))):
+            with pytest.raises(RuntimeError, match="closed"):
+                call()
+
+    def test_pool_submit_collect_raise(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        pool = runner.pool
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(0, 0, "gauss_seidel")
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.collect(0)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.rebind(0.1)
+
+
+class TestRebindDelta:
+    def test_rebound_runner_matches_cold_pool(self):
+        """Rebinding a live pool must equal tearing down + rebuilding."""
+        problem = get_problem("membrane", N)
+        d0, d1 = problem.jacobi_delta(), problem.jacobi_delta() * 0.85
+        u0 = problem.feasible_start()
+        with ParallelBlockRunner("membrane", N, ranges=RANGES,
+                                 delta=d0) as live, \
+                ParallelBlockRunner("membrane", N, ranges=RANGES,
+                                    delta=d1) as cold:
+            live.sweep_all()  # dirty the arena first
+            live.rebind_delta(d1)
+            live.scatter(u0)
+            for _ in range(3):
+                assert live.step_synchronous() == cold.step_synchronous()
+            assert np.array_equal(live.gather(), cold.gather())
+            assert live.delta == d1
+
+    def test_rebind_with_sweep_in_flight_raises(self):
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            runner.submit_sweep(0)
+            with pytest.raises(RuntimeError, match="in flight"):
+                runner.rebind_delta(0.1)
+            runner.wait_sweep(0)
+
+    def test_rebind_rejects_bad_delta(self):
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            with pytest.raises(ValueError):
+                runner.rebind_delta(-1.0)
+
+
+class TestSharedRebind:
+    def test_rekeys_registry(self):
+        d0 = _delta()
+        runner = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                       delta=d0)
+        try:
+            rebind_shared_runner(runner, d0 * 0.9)
+            # The new key serves the same live runner...
+            again = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                          delta=d0 * 0.9)
+            assert again is runner
+            release_shared_runner(again)
+            # ...and the old key now builds a distinct one.
+            old = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                        delta=d0)
+            assert old is not runner
+            release_shared_runner(old)
+        finally:
+            release_shared_runner(runner)
+        assert runner_mod._shared == {}
+
+    def test_refuses_with_other_holders(self):
+        d0 = _delta()
+        a = acquire_shared_runner("membrane", N, ranges=RANGES, delta=d0)
+        b = acquire_shared_runner("membrane", N, ranges=RANGES, delta=d0)
+        try:
+            with pytest.raises(RuntimeError, match="references"):
+                rebind_shared_runner(a, d0 * 0.9)
+        finally:
+            release_shared_runner(a)
+            release_shared_runner(b)
+
+    def test_same_delta_is_a_noop(self):
+        d0 = _delta()
+        runner = acquire_shared_runner("membrane", N, ranges=RANGES,
+                                       delta=d0)
+        try:
+            rebind_shared_runner(runner, d0)
+            assert runner.delta == d0
+        finally:
+            release_shared_runner(runner)
+
+    def test_unregistered_runner_rejected(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            with pytest.raises(RuntimeError, match="not in the shared"):
+                rebind_shared_runner(runner, 0.1)
+        finally:
+            runner.close()
