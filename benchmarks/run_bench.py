@@ -6,15 +6,19 @@ Usage (from the repository root)::
     python benchmarks/run_bench.py [--out BENCH_micro.json]
     python benchmarks/run_bench.py --check [--tolerance 1.0]
 
-Runs ``benchmarks/test_bench_micro.py`` and
-``benchmarks/test_bench_campaign.py`` under pytest-benchmark, collects
+Runs ``benchmarks/test_bench_micro.py``,
+``benchmarks/test_bench_campaign.py`` and
+``benchmarks/test_bench_async.py`` under pytest-benchmark, collects
 the per-benchmark mean/ops numbers, derives the fused-vs-reference
 speedups for the relaxation kernels, the process-vs-inline speedup of
 the sharded sweep executor, the float32-vs-float64 speedup of the
 fused sweeps (the dtype dimension — bandwidth-bound kernels at half the
-element width), and the campaign setup amortization (a 10-job delta
+element width), the campaign setup amortization (a 10-job delta
 sweep through pooled workspaces / keep-alive worker pools vs ten cold
-harness runs, with ``cpu_count`` recorded next to it), and writes the
+harness runs, with ``cpu_count`` recorded next to it), and the
+asynchronous-stepping overlap (``async_overlap``: the same async
+process-executor solve blocking vs split-phase, ``cpu_count``
+alongside — ≥ 2 cores needed for a real speedup), and writes the
 result as JSON.  The checked-in ``BENCH_micro.json`` is the perf
 trajectory record: future PRs rerun this script and compare against it
 before touching a hot path.
@@ -90,6 +94,18 @@ CAMPAIGN_PAIRS = {
                               "test_bench_campaign_pooled_process"),
 }
 
+#: (blocking, overlap) pairs whose ratio is the asynchronous-stepping
+#: overlap: the same async-scheme process-executor solve with sweeps
+#: dispatched blocking vs split-phase.  The solves are iterate-for-
+#: iterate identical (trace-equivalence suite), so the ratio is pure
+#: wall-clock overlap — interpret it alongside the recorded cpu_count
+#: (on 1 core the workers serialize and the ratio only shows the
+#: dispatch overhead, ~1.0).
+ASYNC_PAIRS = {
+    "async_2peers_process": ("test_bench_async_solve_blocking",
+                             "test_bench_async_solve_overlap"),
+}
+
 
 def run_benchmarks(json_path: Path) -> None:
     env = dict(os.environ)
@@ -102,6 +118,7 @@ def run_benchmarks(json_path: Path) -> None:
             sys.executable, "-m", "pytest",
             str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
             str(REPO_ROOT / "benchmarks" / "test_bench_campaign.py"),
+            str(REPO_ROOT / "benchmarks" / "test_bench_async.py"),
             "-q", "--benchmark-only", f"--benchmark-json={json_path}",
         ],
         cwd=REPO_ROOT,
@@ -150,6 +167,14 @@ def summarize(raw: dict) -> dict:
         # The 1-core-container caveat lives next to the number it
         # qualifies, not only in the top-level field.
         campaign["cpu_count"] = os.cpu_count()
+    async_overlap = {}
+    for label, (blocking, overlap) in ASYNC_PAIRS.items():
+        if blocking in results and overlap in results:
+            async_overlap[label] = round(
+                results[blocking]["mean_s"] / results[overlap]["mean_s"], 3
+            )
+    if async_overlap:
+        async_overlap["cpu_count"] = os.cpu_count()
     return {
         "generated_by": "benchmarks/run_bench.py",
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
@@ -163,6 +188,7 @@ def summarize(raw: dict) -> dict:
         "executor_speedups_vs_inline": executor_speedups,
         "dtype_speedups_float32_vs_float64": dtype_speedups,
         "campaign_setup_amortization": campaign,
+        "async_overlap": async_overlap,
         "benchmarks": results,
     }
 
@@ -183,6 +209,36 @@ def print_summary(summary: dict) -> None:
             continue
         print(f"  campaign {label}: {ratio:.2f}x pooled vs cold "
               f"({cores} core(s) available)")
+    for label, ratio in summary.get("async_overlap", {}).items():
+        if label == "cpu_count":
+            continue
+        print(f"  async overlap {label}: {ratio:.2f}x split-phase vs "
+              f"blocking ({cores} core(s) available)")
+
+
+def _gate_ratio_section(fresh: dict, committed: dict, section: str,
+                        label: str, tolerance: float,
+                        failures: list) -> None:
+    """Diff one derived-ratio section (``{name: ratio, cpu_count: N}``)
+    of the summary, appending to ``failures`` when a ratio worsened
+    past tolerance on comparable (same cpu_count) hardware."""
+    fresh_sec = dict(fresh.get(section, {}))
+    committed_sec = dict(committed.get(section, {}))
+    fresh_cores = fresh_sec.pop("cpu_count", None)
+    committed_cores = committed_sec.pop("cpu_count", None)
+    comparable = fresh_cores == committed_cores
+    for name in sorted(set(fresh_sec) & set(committed_sec)):
+        ratio = fresh_sec[name] / committed_sec[name]
+        verdict = "ok"
+        if not comparable:
+            verdict = "skip"
+        elif ratio < 1.0 / (1.0 + tolerance):
+            verdict = "WORSE"
+            failures.append((f"{section}/{name}", 1.0 / ratio))
+        print(f"  {verdict:6s}{label} {name}: "
+              f"{fresh_sec[name]:.2f}x vs committed "
+              f"{committed_sec[name]:.2f}x "
+              f"(cpu_count {fresh_cores} vs {committed_cores})")
 
 
 def check(fresh: dict, committed: dict, tolerance: float) -> int:
@@ -210,25 +266,16 @@ def check(fresh: dict, committed: dict, tolerance: float) -> int:
     for name in sorted(set(committed.get("benchmarks", {})) -
                        set(fresh["benchmarks"])):
         print(f"  GONE  {name}: in committed record only")
-    # Gate the campaign amortization *ratio* too: both sides of a pair
-    # could drift slower in lockstep (passing the per-benchmark check)
-    # while the pooling benefit itself quietly evaporates.
-    fresh_amort = dict(fresh.get("campaign_setup_amortization", {}))
-    committed_amort = dict(committed.get("campaign_setup_amortization", {}))
-    fresh_amort.pop("cpu_count", None)
-    committed_amort.pop("cpu_count", None)
-    for label in sorted(set(fresh_amort) & set(committed_amort)):
-        ratio = fresh_amort[label] / committed_amort[label]
-        verdict = "ok"
-        if ratio < 1.0 / (1.0 + tolerance):
-            verdict = "WORSE"
-            failures.append((f"campaign_setup_amortization/{label}",
-                             1.0 / ratio))
-        print(f"  {verdict:6s}campaign amortization {label}: "
-              f"{fresh_amort[label]:.2f}x vs committed "
-              f"{committed_amort[label]:.2f}x "
-              f"(cpu_count {fresh.get('cpu_count')} vs "
-              f"{committed.get('cpu_count')})")
+    # Gate the derived *ratios* too: both sides of a pair could drift
+    # slower in lockstep (passing the per-benchmark check) while the
+    # pooling or overlap benefit itself quietly evaporates.  Ratios are
+    # only comparable on matching core counts — on mismatch (e.g. a
+    # 1-core record checked on a multi-core runner, where both ratios
+    # legitimately jump) the entries are reported but not gated.
+    _gate_ratio_section(fresh, committed, "campaign_setup_amortization",
+                        "campaign amortization", tolerance, failures)
+    _gate_ratio_section(fresh, committed, "async_overlap",
+                        "async overlap", tolerance, failures)
     if failures:
         print(f"{len(failures)} benchmark(s) regressed past tolerance:")
         for name, ratio in failures:

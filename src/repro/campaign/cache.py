@@ -14,6 +14,16 @@ cache.  On disk each entry is ``<key>.npy`` (the full solution iterate,
 bit-exact, dtype preserved) plus ``<key>.json`` (counters, per-peer
 metadata, provenance, and the signature for inspection).  Entries are
 self-contained — invalidation is ``clear()`` or deleting the files.
+
+With ``max_disk_bytes`` set, the disk layer is bounded: every store
+evicts least-recently-used entries (``.npy`` + ``.json`` pairs) until
+the directory fits the budget again, making the cache safe as a
+long-lived service cache instead of growing until ``clear()``.  The
+LRU clock is the metadata file's mtime, refreshed on every hit — it
+survives process restarts, so a re-invoked CLI campaign evicts in true
+cross-invocation recency order.  The entry being stored is never its
+own eviction victim: a single entry larger than the budget is kept
+(and everything else evicted) rather than thrashing to an empty cache.
 """
 
 from __future__ import annotations
@@ -49,15 +59,20 @@ class ResultCache:
     """
 
     def __init__(self, root: Optional[str | os.PathLike] = None,
-                 max_memory_entries: int = 128):
+                 max_memory_entries: int = 128,
+                 max_disk_bytes: Optional[int] = None):
         self.root = Path(root).expanduser() if root is not None else None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+        if max_disk_bytes is not None and max_disk_bytes <= 0:
+            raise ValueError("max_disk_bytes must be positive (or None)")
         self.max_memory_entries = max_memory_entries
+        self.max_disk_bytes = max_disk_bytes
         self._memory: dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # -- lookup -----------------------------------------------------------------
 
@@ -72,6 +87,8 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.root is not None:
+            self._touch(key)
         return result
 
     def store(self, key: str, result,
@@ -81,6 +98,7 @@ class ResultCache:
         self.stores += 1
         if self.root is not None:
             self._store_disk(key, result, signature)
+            self._enforce_disk_budget(just_stored=key)
 
     def clear(self) -> None:
         """Drop every entry, memory and disk."""
@@ -107,6 +125,72 @@ class ResultCache:
 
     def _paths(self, key: str) -> tuple[Path, Path]:
         return self.root / f"{key}.npy", self.root / f"{key}.json"
+
+    def disk_bytes(self) -> int:
+        """Total size of every on-disk entry (0 when memory-only)."""
+        if self.root is None:
+            return 0
+        total = 0
+        for path in self.root.glob("*.npy"):
+            total += path.stat().st_size
+        for path in self.root.glob("*.json"):
+            total += path.stat().st_size
+        return total
+
+    def _touch(self, key: str) -> None:
+        """Refresh the entry's LRU clock (the meta file's mtime)."""
+        _npy, meta_path = self._paths(key)
+        try:
+            os.utime(meta_path)
+        except FileNotFoundError:
+            pass
+
+    def _enforce_disk_budget(self, just_stored: str) -> None:
+        """Evict LRU entries until the directory fits ``max_disk_bytes``.
+
+        One directory scan (a single ``stat`` per file covers size and
+        the mtime LRU clock together); ties on mtime_ns — possible on
+        coarse filesystems — break by key so eviction order stays
+        deterministic.  The just-stored entry is exempt (a single
+        oversized result stays usable instead of vanishing the moment
+        it was written); both of an entry's files go together, and its
+        memory copy goes too — a memory hit on a disk-evicted key would
+        resurrect an entry the budget already reclaimed.
+        """
+        if self.max_disk_bytes is None:
+            return
+        entries = []  # (mtime_ns, key, entry_bytes)
+        total = 0
+        for meta_path in self.root.glob("*.json"):
+            key = meta_path.stem
+            try:
+                meta_stat = meta_path.stat()
+            except FileNotFoundError:
+                # Another process evicted (or clear()ed) this entry
+                # between our glob and the stat — a legal race for a
+                # shared long-lived cache directory; it costs no budget.
+                continue
+            size = meta_stat.st_size
+            try:
+                size += (self.root / f"{key}.npy").stat().st_size
+            except FileNotFoundError:
+                pass
+            entries.append((meta_stat.st_mtime_ns, key, size))
+            total += size
+        if total <= self.max_disk_bytes:
+            return
+        entries.sort()
+        for _mtime, key, size in entries:
+            if key == just_stored:
+                continue
+            npy, meta_path = self._paths(key)
+            npy.unlink(missing_ok=True)
+            meta_path.unlink(missing_ok=True)
+            self._memory.pop(key, None)
+            self.evictions += 1
+            total -= size
+            if total <= self.max_disk_bytes:
+                return
 
     def _store_disk(self, key: str, result, signature) -> None:
         from ..experiments.harness import RunResult

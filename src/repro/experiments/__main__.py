@@ -82,7 +82,10 @@ def cmd_campaign(args) -> int:
 
     cache = None
     if args.cache_dir:
-        cache = ResultCache(args.cache_dir)
+        budget = None
+        if args.cache_budget_mb is not None:
+            budget = int(args.cache_budget_mb * 1024 * 1024)
+        cache = ResultCache(args.cache_dir, max_disk_bytes=budget)
     if args.fig:
         n_paper = FIG5_N if args.fig == 5 else FIG6_N
         _n, _alphas, baseline, job_for = figure_jobs(
@@ -167,6 +170,10 @@ def main(argv=None) -> int:
     group.add_argument("--cache-dir", default=None,
                        help="persistent result-cache directory (created "
                             "if missing); omit for no cross-run cache")
+    group.add_argument("--cache-budget-mb", type=float, default=None,
+                       help="bound the disk cache to this many MiB with "
+                            "least-recently-used eviction (default: "
+                            "unbounded, as before)")
     group.add_argument("--warm-start", action="store_true",
                        help="seed each delta-sweep solve from its "
                             "neighbour's solution")
@@ -174,6 +181,12 @@ def main(argv=None) -> int:
                        help="exit 1 when fewer jobs were served from "
                             "the cache (CI smoke assertion)")
     args = parser.parse_args(argv)
+    if getattr(args, "cache_budget_mb", None) is not None:
+        if not args.cache_dir:
+            parser.error("--cache-budget-mb requires --cache-dir "
+                         "(there is no disk cache to bound without one)")
+        if args.cache_budget_mb <= 0:
+            parser.error("--cache-budget-mb must be positive")
     if args.full:
         os.environ["REPRO_FULL"] = "1"
     args.alphas = tuple(int(a) for a in args.alphas.split(","))

@@ -37,6 +37,16 @@ from .runner import (
     rebind_shared_runner,
     release_shared_runner,
 )
+from .trace import (
+    ScheduleHarness,
+    ScheduleTrace,
+    TraceRecorder,
+    assert_traces_equal,
+    random_schedule,
+    record_schedule,
+    replay_trace,
+    traces_equal,
+)
 
 __all__ = [
     "ArenaSpec",
@@ -46,4 +56,12 @@ __all__ = [
     "acquire_shared_runner",
     "rebind_shared_runner",
     "release_shared_runner",
+    "ScheduleHarness",
+    "ScheduleTrace",
+    "TraceRecorder",
+    "assert_traces_equal",
+    "random_schedule",
+    "record_schedule",
+    "replay_trace",
+    "traces_equal",
 ]

@@ -194,10 +194,20 @@ class ParallelBlockRunner:
     def wait_sweep(self, shard: int) -> float:
         """Block until the queued sweep of ``shard`` completes; rotate
         buffers; return the shard's max-norm diff."""
+        self._check_open()
         if shard not in self._pending:
-            raise RuntimeError(f"no sweep in flight for shard {shard}")
-        diff = self.pool.collect(shard)
-        self._pending.discard(shard)
+            raise RuntimeError(
+                f"no sweep in flight for shard {shard} (double collect, "
+                "or submit_sweep was never called)"
+            )
+        try:
+            diff = self.pool.collect(shard)
+        finally:
+            # The worker's reply is consumed even when it is an error —
+            # the command is spent either way, so the shard must leave
+            # the pending set or a later close() would wait on (or
+            # complain about) a sweep that no longer exists.
+            self._pending.discard(shard)
         self._flip[shard] ^= 1
         return diff
 
@@ -259,9 +269,47 @@ class ParallelBlockRunner:
                 "owned by the worker until wait_sweep()"
             )
 
-    def close(self) -> None:
+    def discard_pending_sweeps(self) -> list[int]:
+        """Drain every outstanding sweep and drop the results (abort
+        paths only).  Returns the shards that were drained.  The arena
+        stays consistent — each drained sweep still rotates its shard's
+        buffers, exactly as a normal collect would."""
+        drained = sorted(self._pending)
+        for shard in drained:
+            self.wait_sweep(shard)
+        return drained
+
+    def close(self, discard_pending: bool = False) -> None:
+        """Shut the pool down and unlink the arena.
+
+        Outstanding sweeps at shutdown are a driver bug — someone
+        submitted work and lost track of it — so a plain ``close()``
+        raises instead of silently orphaning the worker replies.  Abort
+        paths that *know* they are abandoning work pass
+        ``discard_pending=True`` (the context-manager exit does, when an
+        exception is already propagating, so the original error is
+        never masked).
+        """
         if self._closed:
             return
+        if self._pending:
+            if not discard_pending:
+                raise RuntimeError(
+                    f"sweeps still in flight for shards "
+                    f"{sorted(self._pending)} at close; collect them with "
+                    "wait_sweep() — or close(discard_pending=True) on an "
+                    "abort path that is deliberately abandoning them"
+                )
+            # Best-effort drain: a worker that died or errored must not
+            # keep close() from tearing the pool and arena down (that
+            # would leak processes and the shm segment, and mask the
+            # exception already propagating on this abort path).
+            for shard in sorted(self._pending):
+                try:
+                    self.wait_sweep(shard)
+                except Exception:
+                    pass
+            self._pending.clear()
         self._closed = True
         self.pool.close()
         self.arena.close()
@@ -269,8 +317,8 @@ class ParallelBlockRunner:
     def __enter__(self) -> "ParallelBlockRunner":
         return self
 
-    def __exit__(self, *_exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.close(discard_pending=exc_type is not None)
 
 
 # -- shared runners for the DES-resident solver ---------------------------------------

@@ -272,6 +272,11 @@ class Process(Event):
             if not event._ok:
                 event._defused = True
             return
+        # Save/restore rather than set/clear: a synchronous channel
+        # handoff (see Channel.put) can resume a getter from inside the
+        # putter's own execution, and the outer process must still be
+        # the active one when control returns to it.
+        prev_active = self.sim._active_proc
         self.sim._active_proc = self
         try:
             while True:
@@ -327,7 +332,7 @@ class Process(Event):
                 target.callbacks.append(self._resume)
                 return
         finally:
-            self.sim._active_proc = None
+            self.sim._active_proc = prev_active
 
 
 class _Condition(Event):
@@ -406,13 +411,39 @@ class Channel:
     micro-protocol).  ``get`` returns an event that fires when a message
     is available; messages are delivered in FIFO order to getters in FIFO
     order.
+
+    Put-side handoff
+    ----------------
+    A ``put`` that finds a waiting getter normally wakes it through the
+    event queue: the resume is scheduled at the current instant and runs
+    after every event already queued for this instant — one full queue
+    round-trip per wakeup (counted in :attr:`put_wakeups`).  The
+    ``sync_handoff`` opt-in delivers synchronously instead, mirroring
+    the get-side fast path: the getter's callbacks run inside ``put``,
+    with no queue entry at all.  That is **observably order-changing**
+    whenever other events are already scheduled for the same instant —
+    the getter's code then runs *before* them, and before the putter's
+    own statements after ``put`` — which the trace-equality suite
+    (``tests/simnet/test_put_handoff.py``) demonstrates; hence it stays
+    off by default and the queue path remains the ordering contract.
+    ``None`` (the default) defers to :attr:`Simulator.sync_put_handoff`
+    so a whole simulation can opt in at one switch.  Synchronously
+    delivered events bypass trace hooks, exactly like the get-side fast
+    path.
     """
 
-    __slots__ = ("sim", "_items", "_getters", "name")
+    __slots__ = ("sim", "_items", "_getters", "name", "sync_handoff",
+                 "put_wakeups")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "",
+                 sync_handoff: "bool | None" = None):
         self.sim = sim
         self.name = name
+        self.sync_handoff = sync_handoff
+        #: How many puts landed on a waiting getter (each one is a queue
+        #: round-trip in the default mode — the measurable cost the
+        #: synchronous mode removes).
+        self.put_wakeups = 0
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
 
@@ -425,6 +456,20 @@ class Channel:
             getter = self._getters.popleft()
             if getter.triggered:  # cancelled/interrupted getter
                 continue
+            self.put_wakeups += 1
+            sync = self.sync_handoff
+            if sync is None:
+                sync = self.sim.sync_put_handoff
+            if sync:
+                # Synchronous wake: deliver like step() would, but now.
+                getter._value = item
+                getter._ok = True
+                callbacks = getter.callbacks
+                getter.callbacks = None
+                for cb in callbacks:
+                    cb(getter)
+                getter._processed = True
+                return
             getter.succeed(item)
             return
         self._items.append(item)
@@ -506,6 +551,11 @@ class Simulator:
         self._n_live_processes = 0
         self._trace_hooks: list[Callable[[float, Event], None]] = []
         self._timeout_pool: list[Timeout] = []
+        #: Simulation-wide default for :class:`Channel` put-side handoff
+        #: (see the Channel docstring).  Off: the queue round-trip is the
+        #: ordering contract; the synchronous wake is opt-in because it
+        #: reorders same-instant events.
+        self.sync_put_handoff = False
 
     # -- clock -------------------------------------------------------------
 
@@ -547,9 +597,10 @@ class Simulator:
         proc.callbacks.append(self._process_ended)
         return proc
 
-    def channel(self, name: str = "") -> Channel:
-        """A fresh FIFO channel."""
-        return Channel(self, name)
+    def channel(self, name: str = "",
+                sync_handoff: "bool | None" = None) -> Channel:
+        """A fresh FIFO channel (``sync_handoff`` as in :class:`Channel`)."""
+        return Channel(self, name, sync_handoff=sync_handoff)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)

@@ -40,6 +40,7 @@ from ..numerics.obstacle import (
 )
 from ..numerics.tolerances import min_termination_tol, resolve_dtype
 from ..p2psap.context import CommMode, Scheme
+from ..parallel.trace import active_recorder
 from .halo import BlockState
 from .termination import Action, ExactCoordinator, StreakCoordinator
 
@@ -306,6 +307,24 @@ class _BlockSolver:
         self.executor = str(params.get("executor", "inline"))
         if self.executor not in ("inline", "process"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        # Asynchronous stepping: with "auto" (the default), any scheme
+        # that is not fully synchronous runs its sweeps split-phase —
+        # the real sweep is dispatched *before* the simulated compute
+        # charge and collected when the DES resumes this peer, so with
+        # the process executor independent peers' real compute overlaps
+        # exactly as their simulated compute does.  The iterate
+        # trajectory, relaxation counts, and simulated time are
+        # identical either way (the equivalence suite asserts it); only
+        # the wall-clock overlap differs.
+        async_step = str(params.get("async_step", "auto"))
+        if async_step not in ("auto", "on", "off"):
+            raise ValueError(
+                f"async_step must be 'auto', 'on' or 'off', got "
+                f"{async_step!r}"
+            )
+        self.split_phase = async_step == "on" or (
+            async_step == "auto" and ctx.scheme is not Scheme.SYNCHRONOUS
+        )
         self._runner = None
         shard = None
         if self.executor == "process":
@@ -384,6 +403,30 @@ class _BlockSolver:
             self.mp = ctx.oml.define(
                 "relaxation", ["rank", "sweep", "diff"]
             )
+            # Schedule tracing: when a recorder is active (the
+            # trace-equivalence harness installs one around the run),
+            # register this peer's initial state and record every sweep
+            # dispatch/collect and ghost application, in driver order.
+            self._recorder = active_recorder()
+            if self._recorder is not None:
+                self._recorder.register_peer(
+                    rank=self.rank,
+                    lo=self.state.lo,
+                    hi=self.state.hi,
+                    block=self.state.block,
+                    ghost_below=self.state.ghost_below,
+                    ghost_above=self.state.ghost_above,
+                    solve={
+                        "problem": self.kind,
+                        "n": self.n,
+                        "n_peers": ctx.n_workers,
+                        "delta": self.state.delta,
+                        "dtype": self.dtype.name,
+                        "local_sweep": self.state.local_sweep,
+                        "scheme": self.scheme.value,
+                        "tol": self.tol,
+                    },
+                )
         except BaseException:
             # Nothing past the acquire may leak the shared runner.
             self.close()
@@ -428,11 +471,7 @@ class _BlockSolver:
             if self.stopped:
                 break
             self._pull_async_ghosts()
-            diff = self.state.sweep()
-            self.sweeps += 1
-            self.local_diff = diff
-            self.mp.inject(self.rank, self.sweeps, diff)
-            yield ctx.node.compute(self.state.flops())
+            diff = yield from self._sweep_step()
             if self.checkpoint_every and self.sweeps % self.checkpoint_every == 0:
                 ctx.checkpoint({
                     "rank": self.rank, "lo": self.state.lo, "hi": self.state.hi,
@@ -458,15 +497,45 @@ class _BlockSolver:
         """
         criterion = DiffCriterion(self.tol)
         while self.sweeps < self.max_relax:
-            diff = self.state.sweep()
-            self.sweeps += 1
-            self.local_diff = diff
-            self.mp.inject(self.rank, self.sweeps, diff)
-            yield self.ctx.node.compute(self.state.flops())
+            diff = yield from self._sweep_step()
             if criterion.check(diff):
                 self.stop_info = self.sweeps
                 return
         raise RuntimeError(f"no convergence in {self.max_relax} relaxations")
+
+    def _sweep_step(self):
+        """One relaxation plus its simulated compute charge.
+
+        Split-phase (asynchronous stepping): dispatch the real sweep,
+        charge the simulated compute, *then* collect — while this peer's
+        virtual compute elapses, other peers dispatch theirs, so worker
+        processes overlap for real.  Blocking mode keeps the historical
+        order (sweep, then charge).  Both charge identical simulated
+        time and produce identical iterates; the OML relaxation row is
+        injected once the diff exists, which in split-phase mode is
+        after the compute charge.
+        """
+        iteration = self.sweeps + 1
+        if self._recorder is not None:
+            self._recorder.sweep_begin(self.rank, iteration)
+        if self.split_phase:
+            self.state.begin_sweep()
+            self.sweeps = iteration
+            yield self.ctx.node.compute(self.state.flops())
+            diff = self.state.finish_sweep()
+            self.local_diff = diff
+            self.mp.inject(self.rank, iteration, diff)
+            if self._recorder is not None:
+                self._recorder.sweep_end(self.rank, iteration, diff)
+            return diff
+        diff = self.state.sweep()
+        self.sweeps = iteration
+        self.local_diff = diff
+        self.mp.inject(self.rank, iteration, diff)
+        if self._recorder is not None:
+            self._recorder.sweep_end(self.rank, iteration, diff)
+        yield self.ctx.node.compute(self.state.flops())
+        return diff
 
     # -- communication ----------------------------------------------------------------
 
@@ -536,13 +605,15 @@ class _BlockSolver:
             payload = ev.value
             if payload is None:
                 continue
-            kind, _iteration, plane = payload
+            kind, iteration, plane = payload
             assert kind == "PLANE", f"unexpected payload {kind!r}"
             self.receives += 1
             if tag == "below":
                 self.state.update_ghost_below(plane)
             else:
                 self.state.update_ghost_above(plane)
+            if self._recorder is not None:
+                self._recorder.ghost(self.rank, tag, plane, iteration)
 
     def _pull_async_ghosts(self) -> None:
         """Freshest available planes from asynchronous edges (eq. (5):
@@ -554,12 +625,14 @@ class _BlockSolver:
                 continue
             ok, payload = self.ctx.p2p_receive_latest_nowait(nb)
             if ok and payload is not None:
-                _kind, _iteration, plane = payload
+                _kind, iteration, plane = payload
                 self.receives += 1
                 if tag == "below":
                     self.state.update_ghost_below(plane)
                 else:
                     self.state.update_ghost_above(plane)
+                if self._recorder is not None:
+                    self._recorder.ghost(self.rank, tag, plane, iteration)
                 if self._verify_pending is not None:
                     self._verify_pending[1].discard(nb)
 
@@ -625,6 +698,8 @@ class _BlockSolver:
         if tag == "STOP":
             self.stopped = True
             self.stop_info = body[1]
+            if self._recorder is not None:
+                self._recorder.stop(self.rank, self.sweeps)
             return
         if tag == "VERIFY":
             epoch = body[1]

@@ -71,6 +71,17 @@ class BlockState:
     it; a plane of any other dtype handed to ``update_ghost_*`` or
     ``warm_start`` is rejected loudly rather than silently cast.  With
     the process executor the runner's arena dtype must match.
+
+    Split-phase sweeping (:meth:`begin_sweep` / :meth:`finish_sweep`)
+    is the asynchronous-stepping primitive: between the two calls the
+    sweep is *in flight* and the block's planes are owned by whoever
+    executes it (the worker process, or — inline — the already-computed
+    result).  The ghost-plane consistency rule is enforced here for
+    both executors identically: while a sweep is in flight, neither
+    ghost may be written and neither boundary plane may be read,
+    because the inline engine has already rotated to the new iterate
+    while the process engine still exposes the old one — the only
+    window where the two could be told apart.
     """
 
     problem: ObstacleProblem
@@ -101,6 +112,8 @@ class BlockState:
 
     def __post_init__(self) -> None:
         n = self.problem.grid.n
+        self._inflight = False
+        self._inflight_diff: Optional[float] = None
         if not 0 <= self.lo < self.hi <= n:
             raise ValueError(f"invalid plane range [{self.lo}, {self.hi})")
         if self.local_sweep not in ("gauss_seidel", "jacobi"):
@@ -156,22 +169,39 @@ class BlockState:
         return self.hi - self.lo
 
     @property
+    def sweep_in_flight(self) -> bool:
+        """True between :meth:`begin_sweep` and :meth:`finish_sweep`."""
+        return self._inflight
+
+    def _check_idle(self, what: str) -> None:
+        if self._inflight:
+            raise RuntimeError(
+                f"cannot {what} while a sweep is in flight; call "
+                "finish_sweep() first (the planes are owned by the sweep "
+                "until then)"
+            )
+
+    @property
     def first_plane(self) -> np.ndarray:
         """U_f(k): boundary sub-block sent to node k−1."""
+        self._check_idle("read a boundary plane")
         return self.block[0]
 
     @property
     def last_plane(self) -> np.ndarray:
         """U_l(k): boundary sub-block sent to node k+1."""
+        self._check_idle("read a boundary plane")
         return self.block[-1]
 
     def update_ghost_below(self, plane: np.ndarray) -> None:
+        self._check_idle("write a ghost plane")
         if self.ghost_below is None:
             raise RuntimeError("block touches the domain boundary below")
         check_dtype(plane, self.dtype, "received ghost plane (below)")
         np.copyto(self.ghost_below, plane)
 
     def update_ghost_above(self, plane: np.ndarray) -> None:
+        self._check_idle("write a ghost plane")
         if self.ghost_above is None:
             raise RuntimeError("block touches the domain boundary above")
         check_dtype(plane, self.dtype, "received ghost plane (above)")
@@ -179,6 +209,7 @@ class BlockState:
 
     def warm_start(self, block: np.ndarray) -> None:
         """Resume from a checkpointed block (fault-tolerance restart)."""
+        self._check_idle("warm-start the block")
         if block.shape != self.block.shape:
             raise ValueError(
                 f"checkpoint shape {block.shape} != block {self.block.shape}"
@@ -186,16 +217,71 @@ class BlockState:
         check_dtype(block, self.dtype, "warm-start block")
         np.copyto(self.block, block)
 
+    def begin_sweep(self) -> None:
+        """Dispatch one relaxation without waiting for its result.
+
+        With the process executor this queues the sweep on the shard's
+        worker and returns immediately — the caller (a DES peer) can
+        yield its simulated compute charge while the real numerics run
+        concurrently with other peers'.  Inline, the sweep executes here
+        and now and only the diff is held back; either way the block is
+        in flight until :meth:`finish_sweep` and the consistency guards
+        apply.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                "sweep already in flight for this block; finish_sweep() "
+                "it before beginning another"
+            )
+        if self.executor == "process":
+            self.runner.submit_sweep(self.shard, order=self.local_sweep)
+        else:
+            self._inflight_diff = sweep_block(self)
+        self._inflight = True
+
+    def finish_sweep(self) -> float:
+        """Collect the in-flight relaxation; returns the local max-norm
+        change.  Raises if no sweep is in flight (double collect)."""
+        if not self._inflight:
+            raise RuntimeError(
+                "no sweep in flight for this block (double finish_sweep, "
+                "or begin_sweep was never called)"
+            )
+        self._inflight = False
+        if self.executor == "process":
+            diff = self.runner.wait_sweep(self.shard)
+            # The worker rotated the arena buffers; re-aim our view.
+            self.block = self.runner.block(self.shard)
+            return diff
+        diff = self._inflight_diff
+        self._inflight_diff = None
+        return diff
+
+    def abort_sweep(self) -> None:
+        """Drain an in-flight sweep and drop its result (abort paths:
+        peer failure, solver teardown).  Idempotent.  Best-effort by
+        design: a closed runner, a worker-side sweep failure, or a dead
+        worker (EOFError/BrokenPipeError from its pipe) all mean there
+        is nothing useful left to drain — an abort path must still
+        reach the rest of its teardown, not die here masking the
+        original error."""
+        if not self._inflight:
+            return
+        self._inflight = False
+        self._inflight_diff = None
+        if self.executor == "process":
+            try:
+                self.runner.wait_sweep(self.shard)
+                self.block = self.runner.block(self.shard)
+            except Exception:
+                pass
+
     def sweep(self) -> float:
         """One relaxation of all owned sub-blocks, sequentially (the
         in-node Gauss–Seidel order of the paper); returns the local
         max-norm change."""
-        if self.executor == "process":
-            diff = self.runner.sweep(self.shard, order=self.local_sweep)
-            # The worker rotated the arena buffers; re-aim our view.
-            self.block = self.runner.block(self.shard)
-            return diff
-        return sweep_block(self)
+        self.begin_sweep()
+        return self.finish_sweep()
 
     def release(self) -> None:
         """Return the sweep workspace to the installed pool, if any.
@@ -204,8 +290,11 @@ class BlockState:
         does); the block itself and both ghosts are privately owned and
         stay valid — only the kernel scratch goes back.  Without a
         campaign pool installed this is a no-op and the workspace is
-        simply garbage-collected, as before.
+        simply garbage-collected, as before.  An in-flight sweep is
+        drained and discarded first, so abort paths (peer failure mid
+        compute-charge) never orphan a worker command.
         """
+        self.abort_sweep()
         ws = getattr(self, "_workspace", None)
         if ws is not None:
             self._workspace = None
@@ -215,6 +304,7 @@ class BlockState:
         """The block as an array safe to keep after the solve: the
         private buffer inline, a copy out of shared memory otherwise
         (arena memory is unmapped when the runner is released)."""
+        self._check_idle("export the block")
         if self.executor == "process":
             return np.array(self.block)
         return self.block

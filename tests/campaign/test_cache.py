@@ -98,3 +98,80 @@ class TestDiskCache:
 
     def test_missing_entry_is_miss(self, tmp_path):
         assert ResultCache(tmp_path).load("deadbeef") is None
+
+
+class TestDiskLRUEviction:
+    """The disk layer is bounded: stores evict least-recently-used
+    entry pairs until the directory fits the byte budget."""
+
+    def _entry_bytes(self, tmp_path, solved):
+        probe = ResultCache(tmp_path / "probe")
+        probe.store("probe", solved, signature={"n": 8})
+        return probe.disk_bytes()
+
+    def _backdate(self, cache, key, age_s):
+        """Push an entry's LRU clock into the past (deterministic order
+        regardless of filesystem timestamp resolution)."""
+        import os
+        import time
+
+        _npy, meta = cache._paths(key)
+        stamp = time.time() - age_s
+        os.utime(meta, (stamp, stamp))
+
+    def test_budget_enforced(self, tmp_path, solved):
+        size = self._entry_bytes(tmp_path, solved)
+        cache = ResultCache(tmp_path / "c", max_disk_bytes=2 * size + size // 2)
+        for i in range(5):
+            cache.store(f"k{i}", solved, signature={"i": i})
+            self._backdate(cache, f"k{i}", age_s=100 - i)
+            assert cache.disk_bytes() <= cache.max_disk_bytes
+        assert cache.evictions == 3
+        assert len(cache) == 2
+
+    def test_eviction_is_lru_not_fifo(self, tmp_path, solved):
+        size = self._entry_bytes(tmp_path, solved)
+        cache = ResultCache(tmp_path / "c", max_disk_bytes=2 * size + size // 2)
+        cache.store("a", solved, signature=None)
+        self._backdate(cache, "a", age_s=100)
+        cache.store("b", solved, signature=None)
+        self._backdate(cache, "b", age_s=50)
+        assert cache.load("a") is not None  # refreshes a's clock
+        cache.store("c", solved, signature=None)
+        # b (least recently used) was evicted; a survived its earlier
+        # insertion because the hit touched it.
+        assert cache.load("b") is None
+        assert cache.load("a") is not None
+        assert cache.load("c") is not None
+        assert cache.evictions == 1
+
+    def test_disk_eviction_drops_memory_copy(self, tmp_path, solved):
+        size = self._entry_bytes(tmp_path, solved)
+        cache = ResultCache(tmp_path / "c", max_disk_bytes=size + size // 2)
+        cache.store("a", solved, signature=None)
+        self._backdate(cache, "a", age_s=100)
+        cache.store("b", solved, signature=None)
+        assert cache.load("a") is None  # not resurrected from memory
+        assert cache.load("b") is not None
+
+    def test_single_oversized_entry_survives_its_own_store(
+            self, tmp_path, solved):
+        size = self._entry_bytes(tmp_path, solved)
+        cache = ResultCache(tmp_path / "c", max_disk_bytes=size // 2)
+        cache.store("big", solved, signature=None)
+        assert cache.load("big") is not None
+        # ...but it is the first victim of the next store.
+        self._backdate(cache, "big", age_s=100)
+        cache.store("next", solved, signature=None)
+        assert cache.load("big") is None
+
+    def test_unbounded_by_default(self, tmp_path, solved):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(6):
+            cache.store(f"k{i}", solved, signature=None)
+        assert cache.evictions == 0
+        assert len(cache) == 6
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            ResultCache(tmp_path, max_disk_bytes=0)

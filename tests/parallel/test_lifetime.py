@@ -84,6 +84,108 @@ class TestUseAfterClose:
             pool.rebind(0.1)
 
 
+class TestAsyncSteppingLifetime:
+    """Split-phase (begin/collect) lifetime hardening: asynchronous
+    stepping keeps sweeps in flight across DES turns, so every way of
+    losing track of one must raise instead of hanging or corrupting
+    the arena."""
+
+    def test_collect_after_close_raises_closed(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        runner.submit_sweep(0)
+        runner.close(discard_pending=True)
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.wait_sweep(0)
+
+    def test_double_collect_raises(self):
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            runner.submit_sweep(0)
+            runner.wait_sweep(0)
+            with pytest.raises(RuntimeError, match="double collect"):
+                runner.wait_sweep(0)
+
+    def test_orphaned_sweeps_at_close_raise(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            runner.submit_sweep(0)
+            runner.submit_sweep(1)
+            with pytest.raises(RuntimeError, match="still in flight"):
+                runner.close()
+        finally:
+            runner.close(discard_pending=True)
+
+    def test_discard_pending_drains_and_rotates(self):
+        """Discarded sweeps still rotate their shard's buffers, so the
+        arena stays consistent for a later inspection."""
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            before = runner.gather()
+            runner.submit_sweep(0)
+            assert runner.discard_pending_sweeps() == [0]
+            after = runner.gather()  # raises if the state machine broke
+            assert after.shape == before.shape
+            assert not np.array_equal(after[: RANGES[0][1]],
+                                      before[: RANGES[0][1]])
+
+    def test_context_exit_with_exception_discards_pending(self):
+        """An exception propagating out of a `with` block must not be
+        masked by the orphan-sweep error."""
+        with pytest.raises(KeyError, match="boom"):
+            with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+                runner.submit_sweep(0)
+                raise KeyError("boom")
+
+    def test_failed_sweep_leaves_runner_closable(self):
+        """A worker-side sweep failure consumes the command: the shard
+        must leave the pending set (the error reply was its reply), so
+        a plain close() afterwards neither hangs draining a command
+        that no longer exists nor raises an orphan-sweep error that
+        would mask the worker's diagnostic."""
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            runner.submit_sweep(0, order="bogus-order")
+            with pytest.raises(RuntimeError, match="failed sweeping"):
+                runner.wait_sweep(0)
+            assert runner._pending == set()
+        finally:
+            runner.close()  # clean close: nothing pending, no mask
+
+    def test_blockstate_split_phase_guards(self):
+        from repro.solvers.halo import BlockState
+
+        problem = get_problem("membrane", N)
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            state = BlockState(problem=problem, lo=0, hi=6,
+                               delta=runner.delta, executor="process",
+                               runner=runner)
+            with pytest.raises(RuntimeError, match="no sweep in flight"):
+                state.finish_sweep()
+            state.begin_sweep()
+            with pytest.raises(RuntimeError, match="already in flight"):
+                state.begin_sweep()
+            with pytest.raises(RuntimeError, match="in flight"):
+                state.update_ghost_above(np.zeros((N, N)))
+            with pytest.raises(RuntimeError, match="in flight"):
+                _ = state.last_plane
+            assert np.isfinite(state.finish_sweep())
+
+    def test_blockstate_release_drains_inflight_sweep(self):
+        """release() on an aborting peer drains its in-flight sweep, so
+        the shared runner closes cleanly afterwards (no orphan raise)."""
+        from repro.solvers.halo import BlockState
+
+        problem = get_problem("membrane", N)
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            state = BlockState(problem=problem, lo=0, hi=6,
+                               delta=runner.delta, executor="process",
+                               runner=runner)
+            state.begin_sweep()
+            state.release()
+            assert not state.sweep_in_flight
+        finally:
+            runner.close()  # must NOT raise: nothing is pending
+
+
 class TestRebindDelta:
     def test_rebound_runner_matches_cold_pool(self):
         """Rebinding a live pool must equal tearing down + rebuilding."""
