@@ -24,10 +24,24 @@ survives process restarts, so a re-invoked CLI campaign evicts in true
 cross-invocation recency order.  The entry being stored is never its
 own eviction victim: a single entry larger than the budget is kept
 (and everything else evicted) rather than thrashing to an empty cache.
+
+Concurrent writers: a rooted cache directory may be shared by several
+drivers (two CLI campaigns, a campaign service worker pool).  Individual
+entry files were always safe — write-then-rename never exposes a torn
+file — but the *compound* operations (store + LRU eviction scan,
+clear) raced: two drivers evicting concurrently could each pick victims
+from a directory listing the other was mutating and overshoot the
+budget's intent, or delete an entry the other had just refreshed.
+Every disk mutation therefore runs under an advisory ``flock`` on
+``<root>/.cache.lock`` (per cache directory, so unrelated caches never
+contend).  Readers take it too — cheap, and it means a load never
+observes an eviction mid-flight.  On platforms without ``fcntl`` the
+cache degrades to the previous unlocked behaviour.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -36,6 +50,11 @@ from pathlib import Path
 from typing import Any, Optional
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 __all__ = ["ResultCache", "cache_key", "CACHE_SCHEMA"]
 
@@ -76,19 +95,39 @@ class ResultCache:
 
     # -- lookup -----------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _disk_lock(self):
+        """Advisory exclusive lock over this cache directory's disk
+        state (no-op when memory-only or ``fcntl`` is unavailable).
+        Serializes the compound mutations — store + LRU eviction scan,
+        clear — across processes and threads sharing the directory."""
+        if self.root is None or fcntl is None:
+            yield
+            return
+        with open(self.root / ".cache.lock", "a+b") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
     def load(self, key: str):
         """The cached RunResult for ``key``, or None (counted)."""
         result = self._memory.get(key)
         if result is None and self.root is not None:
-            result = self._load_disk(key)
+            with self._disk_lock():
+                result = self._load_disk(key)
+                if result is not None:
+                    self._touch(key)
             if result is not None:
                 self._remember(key, result)
+        elif result is not None and self.root is not None:
+            with self._disk_lock():
+                self._touch(key)
         if result is None:
             self.misses += 1
             return None
         self.hits += 1
-        if self.root is not None:
-            self._touch(key)
         return result
 
     def store(self, key: str, result,
@@ -97,17 +136,19 @@ class ResultCache:
         self._remember(key, result)
         self.stores += 1
         if self.root is not None:
-            self._store_disk(key, result, signature)
-            self._enforce_disk_budget(just_stored=key)
+            with self._disk_lock():
+                self._store_disk(key, result, signature)
+                self._enforce_disk_budget(just_stored=key)
 
     def clear(self) -> None:
         """Drop every entry, memory and disk."""
         self._memory.clear()
         if self.root is not None:
-            for path in self.root.glob("*.npy"):
-                path.unlink(missing_ok=True)
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
+            with self._disk_lock():
+                for path in self.root.glob("*.npy"):
+                    path.unlink(missing_ok=True)
+                for path in self.root.glob("*.json"):
+                    path.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         if self.root is not None:

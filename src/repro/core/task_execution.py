@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..p2psap.context import CommMode, Scheme
+from ..p2psap.session import SessionState
 from ..p2psap.socket_api import P2PSAP, P2PSAPSocket
 from ..simnet.kernel import Event, Interrupt, Simulator
 from ..simnet.oml import MeasurementLibrary
@@ -55,6 +56,26 @@ class TaskExecutor:
         self._scheme: Scheme = Scheme.HYBRID
         self._sockets: dict[int, P2PSAPSocket] = {}
         self._pending_accept: dict[str, Event] = {}
+        #: Inbound sessions from peers outside the current task's name
+        #: list, parked by remote name.  A faster neighbour's OPEN for
+        #: the *next* task can arrive before this peer's own SUBTASK
+        #: does (the session layer ACKs the OPEN immediately, so the
+        #: initiator proceeds and never reconnects); refusing or
+        #: dropping it would deadlock the pair.  The next task adopts
+        #: matching parked sessions and closes the rest.
+        self._early_sessions: dict[str, P2PSAPSocket] = {}
+        # Crash/restart state (fault injection).  The running Calculate()
+        # process, the sub-task a crash interrupted (so a recovered peer
+        # can resume it), per-rank sends/receives awaiting completion
+        # (re-issued when a session is replaced by a restarted peer), and
+        # a generation counter that invalidates the completion callbacks
+        # of operations belonging to a dead task incarnation.
+        self._calc_proc = None
+        self._current_task: Optional[tuple[str, dict]] = None
+        self._crashed: Optional[tuple[str, dict]] = None
+        self._force_initiate = False
+        self._pending_ops: dict[int, list[dict]] = {}
+        self._ops_epoch = 0
         self._accept_pump = sim.spawn(self._accept_loop(), name=f"accept-{node_name}")
         self._checkpoint_sink: Optional[Callable[[int, Any], None]] = None
         self._result_sink: Optional[Callable[[int, Any], None]] = None
@@ -83,7 +104,7 @@ class TaskExecutor:
             "kind": "APPMSG", "src_rank": self._rank, "body": body,
         })
 
-    def _run_subtask(self, manager: str, body: dict):
+    def _run_subtask(self, manager: str, body: dict, restart: bool = False):
         app = self.applications.get(body["app_name"])
         if app is None:
             self.bus.send(manager, {
@@ -94,8 +115,17 @@ class TaskExecutor:
         self._rank = body["rank"]
         self._peer_names = list(body["peer_names"])
         self._scheme = Scheme.parse(body["scheme"])
-        self._sockets = {}
-        self.app_inbox.clear()  # no stale coordination from a prior task
+        self._adopt_early_sessions()
+        self._pending_ops = {}
+        self._pending_accept = {}
+        self._ops_epoch += 1
+        # A recovered peer must initiate every neighbour session itself:
+        # the surviving neighbours still hold (and use) the sessions from
+        # before the crash, so nobody on that side will reconnect — the
+        # inbound session replaces theirs via the accept pump.
+        self._force_initiate = restart
+        if not restart:
+            self.app_inbox.clear()  # no stale coordination from a prior task
         self.stats_tasks_run += 1
         ctx = TaskContext(
             executor=self,
@@ -106,20 +136,60 @@ class TaskExecutor:
             scheme=self._scheme,
             params=body.get("params", {}),
         )
+        calc = self.sim.spawn(app.calculate(ctx), name=f"calc-{self.node.name}")
+        self._calc_proc = calc
+        self._current_task = (manager, body)
         try:
-            result = yield self.sim.spawn(
-                app.calculate(ctx), name=f"calc-{self.node.name}"
-            )
+            result = yield calc
+        except Interrupt as intr:
+            if intr.cause != "crash":
+                raise
+            # Abrupt peer death: a dead machine reports nothing — no
+            # RESULT, no graceful session close.  crash_current_task()
+            # already dropped the sockets and stashed what a restart
+            # needs.
+            return
         except Exception as err:  # report, don't kill the peer
             self.bus.send(manager, {
                 "kind": "RESULT", "rank": self._rank, "error": repr(err),
             })
             self._teardown_sessions()
             return
+        finally:
+            self._calc_proc = None
         self.bus.send(manager, {
             "kind": "RESULT", "rank": self._rank, "result": result,
         })
         self._teardown_sessions()
+
+    def _adopt_early_sessions(self) -> None:
+        """Re-key pre-arrived inbound sessions under the new task's rank
+        mapping.
+
+        Anything still in ``_sockets`` at task start was accepted after
+        the previous task tore down (its sockets were swapped out), i.e.
+        it is an early OPEN for *this* task matched under the stale name
+        list — carry it over by name.  Parked sessions from then-unknown
+        peers are adopted the same way; whatever matches no rank of the
+        new task really is stale and is closed now.
+        """
+        carried: dict[str, P2PSAPSocket] = {}
+        for sock in self._sockets.values():
+            carried[sock.remote] = sock
+        for remote, sock in self._early_sessions.items():
+            prev = carried.get(remote)
+            if prev is not None and prev is not sock:
+                prev.close()
+            carried[remote] = sock
+        self._early_sessions = {}
+        self._sockets = {}
+        for remote, sock in carried.items():
+            if (remote in self._peer_names
+                    and sock.session is not None
+                    and sock.session.state is not SessionState.CLOSED):
+                self._sockets[self._peer_names.index(remote)] = sock
+            else:
+                sock.close()
 
     #: Grace period before closing sessions after a task: peers finish at
     #: slightly different instants (the STOP broadcast takes a network
@@ -127,6 +197,8 @@ class TaskExecutor:
     LINGER = 5.0
 
     def _teardown_sessions(self) -> None:
+        self._pending_ops = {}
+        self._ops_epoch += 1
         sockets, self._sockets = self._sockets, {}
         if not sockets:
             return
@@ -137,6 +209,67 @@ class TaskExecutor:
                 sock.close()
 
         self.sim.spawn(linger(), name=f"linger-{self.node.name}")
+
+    # -- fault injection: crash & restart ----------------------------------------------
+
+    def crash_current_task(self) -> bool:
+        """Model an abrupt peer death for the running sub-task.
+
+        The Calculate() process is interrupted (its ``finally`` still
+        runs, so sweep workspaces and shared runners are drained and
+        released — the simulation host survives even though the modeled
+        machine dies), the sessions are dropped *without* a close
+        handshake (a dead machine sends no FIN), and any pending get on
+        the environment inbox is withdrawn so queued/retransmitted
+        coordination messages are preserved for the restarted task
+        instead of being eaten by a dead waiter.  Returns False when no
+        task is running here.
+        """
+        calc = self._calc_proc
+        if calc is None or not calc.is_alive:
+            return False
+        self._crashed = self._current_task
+        # Sockets vanish with the process image (no FIN from a dead
+        # machine); surviving neighbours keep their ends and the
+        # restarted peer re-initiates.  Parked sessions die the same way.
+        self._sockets = {}
+        self._early_sessions = {}
+        self._pending_ops = {}
+        self._pending_accept = {}
+        self._ops_epoch += 1
+        self.app_inbox.drop_getters()
+        calc.interrupt("crash")
+        return True
+
+    def restart_crashed_task(self, recovery: Optional[dict] = None) -> None:
+        """Re-run the sub-task a crash interrupted on this peer.
+
+        ``recovery`` is the payload of the freshest checkpoint (as
+        captured by :meth:`store_checkpoint`): the restarted solve warm
+        starts from its block and ghost planes and resumes the sweep
+        counter, preserving relaxation-count provenance.  Without a
+        checkpoint the task restarts cold (still flagged ``restarted``
+        so the solver re-announces its convergence state).
+        """
+        if self._crashed is None:
+            raise RuntimeError(f"no crashed task to restart on {self.node.name}")
+        manager, body = self._crashed
+        self._crashed = None
+        body = dict(body)
+        sub = dict(body["subtask"])
+        sub["restarted"] = True
+        if recovery is not None:
+            sub["warm_start"] = recovery["block"]
+            if recovery.get("ghost_below") is not None:
+                sub["warm_ghost_below"] = recovery["ghost_below"]
+            if recovery.get("ghost_above") is not None:
+                sub["warm_ghost_above"] = recovery["ghost_above"]
+            sub["start_sweep"] = int(recovery.get("sweep", 0))
+        body["subtask"] = sub
+        self.sim.spawn(
+            self._run_subtask(manager, body, restart=True),
+            name=f"subtask-{self.node.name}-restart",
+        )
 
     # -- rank-addressed sessions ------------------------------------------------------
 
@@ -156,8 +289,10 @@ class TaskExecutor:
         remote = self._name_of(rank)
         if remote == self.node.name:
             raise ValueError("a rank does not open a session to itself")
-        if self._rank < rank:
-            # Initiator side.
+        if self._force_initiate or self._rank < rank:
+            # Initiator side (always taken by a restarted peer — see
+            # _run_subtask — since its neighbours hold live sessions and
+            # will never reconnect towards it).
             sock = self.protocol.socket(scheme=self._scheme)
             established = sock.connect(remote)
             self._sockets[rank] = sock
@@ -171,7 +306,9 @@ class TaskExecutor:
         result = self.sim.event()
 
         def ready(_ev: Event, rank=rank) -> None:
-            result.succeed(self._sockets[rank])
+            sock = self._sockets.get(rank)
+            if sock is not None:
+                result.succeed(sock)
 
         if waiter.triggered:
             ready(waiter)
@@ -189,47 +326,101 @@ class TaskExecutor:
                 if remote in self._peer_names:
                     rank = self._peer_names.index(remote)
                     self._sockets[rank] = sock
+                    # A crashed-and-recovered peer re-initiates; its new
+                    # session replaces the dead one, and whatever this
+                    # side had in flight on the old session is re-issued
+                    # so neither side blocks forever across the crash.
+                    self._reissue_pending(rank, sock)
                 waiter = self._pending_accept.pop(remote, None)
                 if waiter is not None and not waiter.triggered:
                     waiter.succeed(sock)
                 elif remote not in self._peer_names:
-                    # Session from an unknown peer (stale task): refuse.
-                    sock.close()
+                    # A peer outside the current task: park the session
+                    # — it may be an early OPEN for the next task (the
+                    # initiator's SUBTASK beat ours here).  Task start
+                    # adopts or discards it.
+                    prev = self._early_sessions.pop(remote, None)
+                    if prev is not None:
+                        prev.close()
+                    self._early_sessions[remote] = sock
         except Interrupt:
             return
 
     # -- communication API used by TaskContext -----------------------------------------
+    #
+    # Sends and receives run behind an *outer* event tracked in
+    # ``_pending_ops``: when a session is replaced (crashed peer came
+    # back and reconnected), operations issued against the dead session
+    # are re-issued on the new one and the first completion — old or new
+    # — wins the outer event.  Without this, a surviving neighbour whose
+    # synchronous exchange straddled the crash would wait forever on a
+    # session the restarted peer no longer reads.
 
     def send_to_rank(self, rank: int, payload: Any) -> Event:
-        sock = self._sockets.get(rank)
-        if sock is None:
-            # Lazy connect, then send: chain the two events.
-            outer = self.sim.event()
-
-            def then_send(ev: Event) -> None:
-                inner = ev.value.send(payload)
-                inner.callbacks.append(
-                    lambda e: outer.succeed(e.value) if not outer.triggered else None
-                )
-
-            self.ensure_session(rank).callbacks.append(then_send)
-            return outer
-        return sock.send(payload)
+        return self._issue(rank, "send", payload)
 
     def receive_from_rank(self, rank: int) -> Event:
+        return self._issue(rank, "recv", None)
+
+    def _issue(self, rank: int, kind: str, payload: Any) -> Event:
+        record = {
+            "rank": rank, "kind": kind, "payload": payload,
+            "outer": self.sim.event(), "sock": None,
+            "epoch": self._ops_epoch,
+        }
+        self._pending_ops.setdefault(rank, []).append(record)
+        self._start_op(record)
+        return record["outer"]
+
+    def _start_op(self, record: dict) -> None:
+        if record["epoch"] != self._ops_epoch or record["outer"].triggered:
+            return  # the issuing task incarnation is gone
+        rank = record["rank"]
         sock = self._sockets.get(rank)
         if sock is None:
-            outer = self.sim.event()
+            # Lazy connect, then (re-)enter with a session in place.
+            est = self.ensure_session(rank)
+            if est.triggered:
+                self._start_op(record)
+            else:
+                est.callbacks.append(lambda _ev: self._start_op(record))
+            return
+        record["sock"] = sock
+        inner = sock.send(record["payload"]) if record["kind"] == "send" else sock.recv()
 
-            def then_recv(ev: Event) -> None:
-                inner = ev.value.recv()
-                inner.callbacks.append(
-                    lambda e: outer.succeed(e.value) if not outer.triggered else None
-                )
+        def finish(ev: Event, record=record) -> None:
+            outer = record["outer"]
+            if outer.triggered or record["epoch"] != self._ops_epoch:
+                # Stale completion: the op already finished on another
+                # session, or its task is gone (teardown / crash).
+                ev.defused()
+                return
+            self._retire_op(record)
+            if ev.ok:
+                outer.succeed(ev.value)
+            else:
+                ev.defused()
+                outer.fail(ev.value)
 
-            self.ensure_session(rank).callbacks.append(then_recv)
-            return outer
-        return sock.recv()
+        if inner.triggered:
+            finish(inner)
+        else:
+            inner.callbacks.append(finish)
+
+    def _retire_op(self, record: dict) -> None:
+        ops = self._pending_ops.get(record["rank"])
+        if ops is not None:
+            try:
+                ops.remove(record)
+            except ValueError:
+                pass
+            if not ops:
+                del self._pending_ops[record["rank"]]
+
+    def _reissue_pending(self, rank: int, sock: P2PSAPSocket) -> None:
+        for record in list(self._pending_ops.get(rank, ())):
+            if record["sock"] is not sock:
+                self._start_op(record)
 
     def receive_nowait_from_rank(self, rank: int) -> tuple[bool, Any]:
         sock = self._sockets.get(rank)

@@ -7,9 +7,17 @@ Usage::
     python -m repro.experiments fig6 [--alphas 1,2,4,8] [--full]
     python -m repro.experiments all
     python -m repro.experiments campaign [--fig 5|6 | --n N] [options]
+    python -m repro.experiments scenario --seed N [--scheme S] [--exec E]
+    python -m repro.experiments replay <trace.npz> [--executor E]
 
 ``--full`` runs the paper's actual problem sizes (equivalent to setting
 ``REPRO_FULL=1``); default is the laptop-scale ratio-preserving setup.
+
+``scenario`` runs one seeded fault-injection scenario
+(:mod:`repro.scenarios`) — crash/restart, churn, link degradation —
+against a live solve and checks the standing invariants; ``replay``
+re-executes a dumped schedule trace (``.npz``) and verifies the replay
+reproduces the recorded per-sweep diffs bit-exactly.
 
 ``campaign`` runs a whole grid through the batched campaign engine
 (:mod:`repro.campaign`): pooled sweep workspaces, keep-alive worker
@@ -131,13 +139,60 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    from ..scenarios import generate_script, run_scenario
+
+    script = generate_script(
+        args.seed, scheme=args.scheme, executor=args.scenario_executor,
+    )
+    result = run_scenario(script, dump_dir=args.dump_dir)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_replay(args) -> int:
+    from ..parallel import load_trace, replay_trace
+
+    trace = load_trace(args.path)
+    recorded = [(ev.rank, ev.iteration, ev.diff)
+                for ev in trace.events if ev.kind == "end"]
+    print(f"{args.path}: {len(trace.peers)} peers, "
+          f"{len(trace.events)} events ({len(recorded)} sweeps), "
+          f"solve={trace.solve}")
+    result = replay_trace(trace, executor=args.executor)
+    mismatches = [
+        (rank, it, rec, rep)
+        for (rank, it, rec), (_r, _i, rep) in zip(recorded, result.diffs)
+        if rec is not None and rec != rep
+    ]
+    if len(result.diffs) != len(recorded):
+        print(f"FAIL: replay produced {len(result.diffs)} sweeps, "
+              f"trace recorded {len(recorded)}")
+        return 1
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} sweep diff(s) diverge:")
+        for rank, it, rec, rep in mismatches[:10]:
+            print(f"  rank {rank} it {it}: recorded {rec!r} "
+                  f"replayed {rep!r}")
+        return 1
+    print(f"replay on {args.executor!r} executor reproduces all "
+          f"{len(recorded)} recorded sweep diffs bit-exactly")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "target", choices=["table1", "fig5", "fig6", "all", "campaign"],
+        "target",
+        choices=["table1", "fig5", "fig6", "all", "campaign",
+                 "scenario", "replay"],
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None,
+        help="trace file for the replay target",
     )
     parser.add_argument(
         "--alphas", default="1,2,4,8",
@@ -180,6 +235,19 @@ def main(argv=None) -> int:
     group.add_argument("--min-cache-hits", type=int, default=0,
                        help="exit 1 when fewer jobs were served from "
                             "the cache (CI smoke assertion)")
+    sgroup = parser.add_argument_group("scenario / replay options")
+    sgroup.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (the script is a pure "
+                             "function of it)")
+    sgroup.add_argument("--scheme", default=None,
+                        choices=["synchronous", "asynchronous", "hybrid"],
+                        help="override the seed-derived scheme")
+    sgroup.add_argument("--exec", dest="scenario_executor", default=None,
+                        choices=["inline", "process"],
+                        help="override the seed-derived sweep executor")
+    sgroup.add_argument("--dump-dir", default=None,
+                        help="dump schedule traces here when an "
+                             "invariant fails")
     args = parser.parse_args(argv)
     if getattr(args, "cache_budget_mb", None) is not None:
         if not args.cache_dir:
@@ -192,6 +260,12 @@ def main(argv=None) -> int:
     args.alphas = tuple(int(a) for a in args.alphas.split(","))
     alphas = args.alphas
 
+    if args.target == "scenario":
+        return cmd_scenario(args)
+    if args.target == "replay":
+        if args.path is None:
+            parser.error("replay needs a trace file path")
+        return cmd_replay(args)
     if args.target == "campaign":
         args.schemes = tuple(s for s in args.schemes.split(",") if s)
         args.clusters = tuple(int(c) for c in args.clusters.split(","))

@@ -47,6 +47,7 @@ from .trace import (
     replay_trace,
     traces_equal,
 )
+from .trace_io import load_trace, save_trace
 
 __all__ = [
     "ArenaSpec",
@@ -64,4 +65,6 @@ __all__ = [
     "record_schedule",
     "replay_trace",
     "traces_equal",
+    "load_trace",
+    "save_trace",
 ]

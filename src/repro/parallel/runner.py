@@ -73,6 +73,9 @@ class ParallelBlockRunner:
         self.n_shards = self.arena.n_shards
         self._flip = [0] * self.n_shards
         self._pending: set[int] = set()
+        # Optional human-readable owner labels ("rank 2 (peer02)"), so
+        # in-flight-at-close errors name the peer, not just the shard.
+        self._shard_labels: dict[int, str] = {}
         self._range_index = {r: k for k, r in enumerate(self.arena.ranges)}
         # Feasible start + matching ghosts, exactly as BlockState does
         # (one deliberate cast to the arena dtype, here at the edge).
@@ -98,6 +101,21 @@ class ParallelBlockRunner:
     @property
     def n_workers(self) -> int:
         return self.pool.n_workers
+
+    def label_shard(self, shard: int, label: Optional[str]) -> None:
+        """Name the shard's owner for diagnostics (None clears it)."""
+        if label is None:
+            self._shard_labels.pop(int(shard), None)
+        else:
+            self._shard_labels[int(shard)] = str(label)
+
+    def describe_shards(self, shards) -> str:
+        """Render shard ids with their owner labels, for error messages."""
+        return ", ".join(
+            f"{s} [{self._shard_labels[s]}]" if s in self._shard_labels
+            else str(s)
+            for s in sorted(shards)
+        )
 
     def shard_for(self, lo: int, hi: int) -> int:
         """The shard owning exactly planes ``[lo, hi)``."""
@@ -243,7 +261,8 @@ class ParallelBlockRunner:
         self._check_open()
         if self._pending:
             raise RuntimeError(
-                f"sweeps in flight for shards {sorted(self._pending)}; "
+                f"sweeps in flight for shards "
+                f"{self.describe_shards(self._pending)}; "
                 "collect them before rebinding"
             )
         delta = float(delta)
@@ -296,9 +315,10 @@ class ParallelBlockRunner:
             if not discard_pending:
                 raise RuntimeError(
                     f"sweeps still in flight for shards "
-                    f"{sorted(self._pending)} at close; collect them with "
-                    "wait_sweep() — or close(discard_pending=True) on an "
-                    "abort path that is deliberately abandoning them"
+                    f"{self.describe_shards(self._pending)} at close; "
+                    "collect them with wait_sweep() — or "
+                    "close(discard_pending=True) on an abort path that is "
+                    "deliberately abandoning them"
                 )
             # Best-effort drain: a worker that died or errored must not
             # keep close() from tearing the pool and arena down (that

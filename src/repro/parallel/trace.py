@@ -71,7 +71,12 @@ class TraceEvent:
       written into ``rank``'s ``side`` ("below"/"above") ghost; the
       plane bytes ride along so replay is closed under staleness;
     - ``"stop"`` — peer ``rank`` observed STOP after ``iteration``
-      sweeps (metadata only; replay ignores it).
+      sweeps (metadata only; replay ignores it);
+    - ``"restore"`` — peer ``rank`` crashed and came back from a
+      checkpoint: ``state`` holds the restored block and ghost planes,
+      ``iteration`` the resumed sweep counter.  Replay aborts whatever
+      the rank had in flight and installs the restored state, exactly
+      as the live crash path does.
     """
 
     kind: str
@@ -81,6 +86,8 @@ class TraceEvent:
     plane: Optional[np.ndarray] = None
     diff: Optional[float] = None
     src_iteration: Optional[int] = None
+    #: "restore" only: {"block", "ghost_below", "ghost_above"} copies.
+    state: Optional[dict] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -149,6 +156,12 @@ def _trace_mismatch(a: ScheduleTrace, b: ScheduleTrace) -> Optional[str]:
                     f"({ea.kind} rank {ea.rank} it {ea.iteration})")
         if not _plane_equal(ea.plane, eb.plane):
             return f"event {i} ghost plane bytes differ"
+        if (ea.state is None) != (eb.state is None):
+            return f"event {i} restore state presence differs"
+        if ea.state is not None:
+            for key in ("block", "ghost_below", "ghost_above"):
+                if not _plane_equal(ea.state.get(key), eb.state.get(key)):
+                    return f"event {i} restore state {key!r} differs"
     return None
 
 
@@ -232,6 +245,28 @@ class TraceRecorder:
 
     def stop(self, rank: int, iteration: int) -> None:
         self._events().append(TraceEvent("stop", rank, iteration))
+
+    def has_peer(self, rank: int) -> bool:
+        """True if ``rank`` is registered in the trace being recorded —
+        how a restarted solver knows to record a restore instead of
+        opening a new trace."""
+        return self._current is not None and rank in self._current.peers
+
+    def restore(self, rank: int, iteration: int, block: np.ndarray,
+                ghost_below: Optional[np.ndarray],
+                ghost_above: Optional[np.ndarray]) -> None:
+        if not self.has_peer(rank):
+            raise RuntimeError(f"restore for unregistered peer {rank}")
+        self._events().append(TraceEvent(
+            "restore", rank, iteration,
+            state={
+                "block": np.array(block, copy=True),
+                "ghost_below": None if ghost_below is None
+                else np.array(ghost_below, copy=True),
+                "ghost_above": None if ghost_above is None
+                else np.array(ghost_above, copy=True),
+            },
+        ))
 
 
 _active: Optional[TraceRecorder] = None
@@ -332,7 +367,8 @@ def _build_states(problem_kind: str, n: int,
 def replay_trace(trace: ScheduleTrace, executor: str = "inline",
                  capture_iterates: bool = False,
                  n_workers: Optional[int] = None,
-                 start_method: Optional[str] = None) -> ReplayResult:
+                 start_method: Optional[str] = None,
+                 on_event=None) -> ReplayResult:
     """Re-execute a recorded schedule on the chosen sweep engine.
 
     Walks the event list exactly as recorded: "begin" dispatches the
@@ -342,6 +378,15 @@ def replay_trace(trace: ScheduleTrace, executor: str = "inline",
     hold).  The per-sweep diffs, and with ``capture_iterates=True``
     every post-sweep block, come back for bit-level comparison against
     the recording or against another engine's replay of the same trace.
+
+    "restore" events (crash recovery) abort the rank's in-flight sweep,
+    if any, and install the checkpointed block/ghosts — both engines end
+    the abort post-rotation, so the subsequent sweeps are equivalent to
+    the live path's fresh post-crash BlockState.
+
+    ``on_event(event, states)``, when given, is called after each event
+    is applied, with the live per-rank BlockState map — the invariant
+    walkers (e.g. the scenario error-envelope check) hook in here.
 
     A malformed trace (double begin, end without begin, a ghost write
     into an in-flight peer) raises through the BlockState consistency
@@ -372,8 +417,25 @@ def replay_trace(trace: ScheduleTrace, executor: str = "inline",
                     st.update_ghost_below(ev.plane)
                 else:
                     st.update_ghost_above(ev.plane)
+            elif ev.kind == "restore":
+                st = states[ev.rank]
+                st.abort_sweep()
+                st.warm_start(ev.state["block"])
+                if st.ghost_below is not None \
+                        and ev.state.get("ghost_below") is not None:
+                    st.update_ghost_below(ev.state["ghost_below"])
+                if st.ghost_above is not None \
+                        and ev.state.get("ghost_above") is not None:
+                    st.update_ghost_above(ev.state["ghost_above"])
             elif ev.kind != "stop":
                 raise ValueError(f"unknown trace event kind {ev.kind!r}")
+            if on_event is not None:
+                on_event(ev, states)
+        # A live abort (crash, churn) may interrupt a sweep between its
+        # recorded "begin" and "end" — that sweep never landed, so drop
+        # any dangling in-flight work just as the live teardown does.
+        for st in states.values():
+            st.abort_sweep()
         blocks = {rank: np.array(st.export_block(), copy=True)
                   for rank, st in states.items()}
     finally:

@@ -1,0 +1,130 @@
+"""Trace persistence: save/load :class:`ScheduleTrace` to ``.npz``.
+
+A trace file is a single self-describing npz archive:
+
+- ``meta``: a 0-d unicode array holding a JSON document — solve
+  metadata, the peer table, and the event list, where each event's bulk
+  payload (ghost plane / restore state) is an *index* into the array
+  members below;
+- ``peer<rank>_block`` / ``_gb`` / ``_ga``: per-peer initial snapshots;
+- ``plane<j>``: ghost-event plane bytes, in event order;
+- ``state<j>_block`` / ``_gb`` / ``_ga``: restore-event checkpoints.
+
+Everything is plain arrays + JSON (``allow_pickle=False`` end to end),
+so a trace dumped by a failing scenario run can be replayed anywhere —
+``python -m repro.experiments replay <trace>`` — without trusting the
+file.  Bit-exactness survives the round trip: array bytes are stored
+verbatim and diffs go through JSON floats, which round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .trace import PeerSnapshot, ScheduleTrace, TraceEvent
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _put(arrays: dict, key: str, value) -> bool:
+    if value is None:
+        return False
+    arrays[key] = np.asarray(value)
+    return True
+
+
+def save_trace(trace: ScheduleTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (npz; the suffix is kept as given)."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    peers_meta = []
+    for rank in sorted(trace.peers):
+        snap = trace.peers[rank]
+        _put(arrays, f"peer{rank}_block", snap.block)
+        peers_meta.append({
+            "rank": rank, "lo": snap.lo, "hi": snap.hi,
+            "ghost_below": _put(arrays, f"peer{rank}_gb", snap.ghost_below),
+            "ghost_above": _put(arrays, f"peer{rank}_ga", snap.ghost_above),
+        })
+    events_meta = []
+    n_planes = n_states = 0
+    for ev in trace.events:
+        plane_idx = state_idx = None
+        if ev.plane is not None:
+            plane_idx, n_planes = n_planes, n_planes + 1
+            arrays[f"plane{plane_idx}"] = ev.plane
+        if ev.state is not None:
+            state_idx, n_states = n_states, n_states + 1
+            _put(arrays, f"state{state_idx}_block", ev.state["block"])
+            _put(arrays, f"state{state_idx}_gb", ev.state.get("ghost_below"))
+            _put(arrays, f"state{state_idx}_ga", ev.state.get("ghost_above"))
+        events_meta.append({
+            "kind": ev.kind, "rank": ev.rank, "iteration": ev.iteration,
+            "side": ev.side, "diff": ev.diff,
+            "src_iteration": ev.src_iteration,
+            "plane": plane_idx, "state": state_idx,
+        })
+    meta = {
+        "format": "repro-trace",
+        "version": TRACE_FORMAT_VERSION,
+        "solve": trace.solve,
+        "peers": peers_meta,
+        "events": events_meta,
+    }
+    arrays["meta"] = np.asarray(json.dumps(meta))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> ScheduleTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"][()]))
+        if meta.get("format") != "repro-trace":
+            raise ValueError(f"{path}: not a repro trace file")
+        if meta.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format version "
+                f"{meta.get('version')!r} (have {TRACE_FORMAT_VERSION})"
+            )
+        trace = ScheduleTrace(solve=dict(meta["solve"]))
+        for pm in meta["peers"]:
+            rank = int(pm["rank"])
+            trace.peers[rank] = PeerSnapshot(
+                rank=rank, lo=int(pm["lo"]), hi=int(pm["hi"]),
+                block=data[f"peer{rank}_block"],
+                ghost_below=data[f"peer{rank}_gb"] if pm["ghost_below"] else None,
+                ghost_above=data[f"peer{rank}_ga"] if pm["ghost_above"] else None,
+            )
+        for em in meta["events"]:
+            state = None
+            if em["state"] is not None:
+                j = em["state"]
+                state = {
+                    "block": data[f"state{j}_block"],
+                    "ghost_below": (
+                        data[f"state{j}_gb"] if f"state{j}_gb" in data else None
+                    ),
+                    "ghost_above": (
+                        data[f"state{j}_ga"] if f"state{j}_ga" in data else None
+                    ),
+                }
+            trace.events.append(TraceEvent(
+                kind=em["kind"], rank=int(em["rank"]),
+                iteration=int(em["iteration"]), side=em["side"],
+                plane=(data[f"plane{em['plane']}"]
+                       if em["plane"] is not None else None),
+                diff=em["diff"],
+                src_iteration=(int(em["src_iteration"])
+                               if em["src_iteration"] is not None else None),
+                state=state,
+            ))
+    return trace

@@ -1,0 +1,198 @@
+"""The fault injector: drives a :class:`ScenarioScript` into a live run.
+
+The injector is a DES process spawned when the scenario engine submits
+the solve: it sleeps to each event's firing time (``t_submit + at·T``,
+with T the fault-free baseline's elapsed time) and applies the event to
+the deployment — node death and executor crash, topology re-join and
+checkpoint-recovered restart, abort broadcasts for churn, link
+reconfiguration, background load.  Everything it does goes through the
+same public surfaces the environment itself uses
+(:meth:`TaskExecutor.crash_current_task` /
+:meth:`~repro.core.task_execution.TaskExecutor.restart_crashed_task`,
+:meth:`TopologyClient.join`, :meth:`Link.reconfigure`), so a scenario
+exercises the real recovery machinery, not a parallel implementation.
+
+Events that cannot apply (a crash firing between epochs when no task is
+running, a restart whose crash was skipped) are *recorded as skipped*
+rather than raised: a seeded schedule is a fuzzing input, and the engine
+reports what actually happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..simnet.kernel import Interrupt
+from ..simnet.network import Netem
+from .script import ScenarioEvent, ScenarioScript, node_name
+
+__all__ = ["Injector", "AppliedEvent"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedEvent:
+    """What one scheduled event actually did, with its firing time."""
+
+    time: float
+    event: ScenarioEvent
+    applied: bool
+    detail: str
+
+
+class Injector:
+    """Applies a script's events to a live P2PDC deployment."""
+
+    def __init__(self, env, script: ScenarioScript):
+        self.env = env
+        self.script = script
+        self.log: list[AppliedEvent] = []
+        #: Churn events awaiting the engine's epoch handling (the
+        #: injector aborts the solve; the engine re-partitions).
+        self.epoch_breaks: list[ScenarioEvent] = []
+        self._crashed_rank: Optional[int] = None
+        self._crashed_name: Optional[str] = None
+        self._proc = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def arm(self, t0: float, horizon: float) -> None:
+        """Start firing events; ``t0`` is the submission instant and
+        ``horizon`` the baseline elapsed time the fractions scale by."""
+        if self._proc is not None:
+            raise RuntimeError("injector already armed")
+        self._proc = self.env.sim.spawn(
+            self._run(t0, horizon), name="scenario-injector"
+        )
+
+    def _run(self, t0: float, horizon: float):
+        sim = self.env.sim
+        try:
+            for ev in self.script.events:
+                target = t0 + ev.at * horizon
+                if target > sim.now:
+                    yield sim.timeout(target - sim.now)
+                self._apply(ev)
+        except Interrupt:
+            return
+
+    def close(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("close")
+
+    # -- event application ------------------------------------------------------------
+
+    def _record(self, ev: ScenarioEvent, applied: bool, detail: str) -> None:
+        self.log.append(AppliedEvent(
+            time=self.env.sim.now, event=ev, applied=applied, detail=detail,
+        ))
+
+    def applied(self, kind: Optional[str] = None) -> list[AppliedEvent]:
+        return [rec for rec in self.log
+                if rec.applied and (kind is None or rec.event.kind == kind)]
+
+    def _apply(self, ev: ScenarioEvent) -> None:
+        handler = getattr(self, f"_apply_{ev.kind}")
+        handler(ev)
+
+    def _current_run(self):
+        return self.env.task_manager._current
+
+    def _apply_crash(self, ev: ScenarioEvent) -> None:
+        run = self._current_run()
+        if run is None or ev.rank >= len(run.peer_names):
+            self._record(ev, False, "no task running at fire time")
+            return
+        name = run.peer_names[ev.rank]
+        if name == self.env.server_name:
+            self._record(ev, False, "refusing to crash the server peer")
+            return
+        node = self.env.network.nodes[name]
+        node.fail()  # NIC dark first: the dying peer transmits nothing
+        if not self.env.executors[name].crash_current_task():
+            node.recover()  # nothing was running; leave the node usable
+            self._record(ev, False, f"{name} had no running sub-task")
+            return
+        self._crashed_rank = ev.rank
+        self._crashed_name = name
+        self._record(ev, True, f"killed {name} (rank {ev.rank})")
+
+    def _apply_restart(self, ev: ScenarioEvent) -> None:
+        if self._crashed_name is None:
+            self._record(ev, False, "no crashed peer to restart")
+            return
+        name, rank = self._crashed_name, self._crashed_rank
+        self._crashed_name = self._crashed_rank = None
+        self.env.network.nodes[name].recover()
+        # The ping loop died with the machine; re-join from scratch (a
+        # possibly-evicted peer re-registers, a not-yet-evicted one just
+        # refreshes its record).
+        client = self.env.clients[name]
+        client.close()
+        client.join()
+        ft = self.env.fault_tolerance
+        checkpoint = ft.store.latest(rank) if ft is not None else None
+        recovery = None if checkpoint is None else checkpoint.state
+        self.env.executors[name].restart_crashed_task(recovery)
+        self._record(ev, True, (
+            f"restarted {name} (rank {rank}) from "
+            + (f"checkpoint@sweep {recovery.get('sweep', 0)}"
+               if recovery is not None else "cold state")
+        ))
+
+    def _abort_current(self) -> Optional[list[str]]:
+        """Broadcast an abort STOP to every peer of the current run."""
+        run = self._current_run()
+        if run is None:
+            return None
+        server_bus = self.env.buses[self.env.server_name]
+        for peer in run.peer_names:
+            # converged_at stays None on an aborted peer: the report
+            # records "stopped, not converged", and the next epoch warm
+            # starts from whatever iterate the abort froze.
+            server_bus.send(peer, {
+                "kind": "APPMSG", "src_rank": -1, "body": ("STOP", None),
+            })
+        return list(run.peer_names)
+
+    def _apply_leave(self, ev: ScenarioEvent) -> None:
+        peers = self._abort_current()
+        if peers is None or ev.rank >= len(peers):
+            self._record(ev, False, "no task running at fire time")
+            return
+        self.epoch_breaks.append(ev)
+        self._record(ev, True,
+                     f"aborted epoch; {peers[ev.rank]} (rank {ev.rank}) "
+                     "will leave")
+
+    def _apply_join(self, ev: ScenarioEvent) -> None:
+        if self._abort_current() is None:
+            self._record(ev, False, "no task running at fire time")
+            return
+        self.epoch_breaks.append(ev)
+        self._record(ev, True, "aborted epoch; a spare peer will join")
+
+    def _apply_link(self, ev: ScenarioEvent) -> None:
+        args = ev.arg_dict()
+        a, b = ev.link
+        for src, dst in ((a, b), (b, a)):
+            link = self.env.network.link(src, dst)
+            bandwidth = None
+            if "bandwidth_scale" in args:
+                bandwidth = link.bandwidth_bps * args["bandwidth_scale"]
+            link.reconfigure(
+                bandwidth_bps=bandwidth,
+                netem=Netem(
+                    delay=args.get("delay", link.netem.delay),
+                    jitter=args.get("jitter", link.netem.jitter),
+                    loss=args.get("loss", link.netem.loss),
+                ),
+            )
+        self._record(ev, True, f"degraded {a}<->{b}: "
+                     + ",".join(f"{k}={v:g}" for k, v in sorted(args.items())))
+
+    def _apply_load(self, ev: ScenarioEvent) -> None:
+        name = node_name(ev.rank)
+        factor = ev.arg_dict()["factor"]
+        self.env.network.nodes[name].background_load = factor
+        self._record(ev, True, f"background load {factor:g} on {name}")

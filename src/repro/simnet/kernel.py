@@ -529,6 +529,20 @@ class Channel:
         self._items.clear()
         return n
 
+    def drop_getters(self) -> int:
+        """Withdraw every pending get, returning how many were dropped.
+
+        The abrupt-death path: interrupting a process detaches it from
+        the composite event it waits on, but a ``get`` it had registered
+        stays in the queue and would silently eat the next ``put`` — a
+        message meant for whoever takes over the channel (e.g. a
+        restarted task on the same peer).  Dropping the getters keeps
+        the channel's items flowing to live consumers only.
+        """
+        n = len(self._getters)
+        self._getters.clear()
+        return n
+
 
 class Simulator:
     """The virtual-time event loop.

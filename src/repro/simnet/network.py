@@ -295,6 +295,29 @@ class Link:
             dup = dataclasses.replace(packet, packet_id=next(_packet_ids))
             self._schedule_delivery(dup, total + self._propagation_delay())
 
+    def reconfigure(
+        self,
+        bandwidth_bps: Optional[float] = None,
+        netem: Optional[Netem] = None,
+    ) -> None:
+        """Reparameterize the link mid-simulation (``tc qdisc change``).
+
+        The fault-injection layer uses this to degrade links over time:
+        new packets see the new bandwidth/netem, packets already in
+        flight keep the parameters they were transmitted with, and the
+        serialization horizon (``_tx_free_at``) is preserved — a link
+        that was busy stays busy across the change, exactly as a real
+        qdisc swap would behave.
+        """
+        if bandwidth_bps is not None:
+            if bandwidth_bps < 0:
+                raise ValueError("bandwidth must be non-negative")
+            self.bandwidth_bps = bandwidth_bps
+        if netem is not None:
+            if not isinstance(netem, Netem):
+                raise TypeError(f"netem must be a Netem, got {type(netem).__name__}")
+            self.netem = netem
+
     def _schedule_delivery(self, packet: Packet, delay: float) -> None:
         def deliver(_ev: Event, packet=packet) -> None:
             if not self.dst.alive:

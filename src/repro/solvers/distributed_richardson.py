@@ -350,6 +350,11 @@ class _BlockSolver:
                 dtype=self.dtype,
             )
             shard = ctx.rank
+            # Name the shard's owner so orphaned-sweep errors at
+            # close()/release point at the peer, not just a shard id.
+            self._runner.label_shard(
+                shard, f"rank {ctx.rank} ({ctx.peer_names[ctx.rank]})"
+            )
         try:
             self.state = BlockState(
                 problem=self.problem, lo=sub["lo"], hi=sub["hi"],
@@ -357,9 +362,20 @@ class _BlockSolver:
                 local_sweep=params.get("local_sweep", "gauss_seidel"),
                 executor=self.executor, runner=self._runner, shard=shard,
             )
+            # Crash recovery: the executor re-dispatches an interrupted
+            # sub-task with the freshest checkpoint spliced in — block,
+            # ghost planes, and the sweep counter (relaxation-count
+            # provenance survives the crash).
+            self.restarted = bool(sub.get("restarted", False))
             warm = sub.get("warm_start")
             if warm is not None:
                 self.state.warm_start(np.asarray(warm))
+            warm_gb = sub.get("warm_ghost_below")
+            if warm_gb is not None and self.state.ghost_below is not None:
+                self.state.update_ghost_below(np.asarray(warm_gb))
+            warm_ga = sub.get("warm_ghost_above")
+            if warm_ga is not None and self.state.ghost_above is not None:
+                self.state.update_ghost_above(np.asarray(warm_ga))
             # Campaign warm start: the whole previous solution rides the
             # params (every peer slices its own planes + ghosts from
             # it).  Unlike the per-subtask checkpoint restart above,
@@ -376,8 +392,10 @@ class _BlockSolver:
             self.left = self.rank - 1 if self.rank > 0 else None
             self.right = self.rank + 1 if self.rank + 1 < ctx.n_workers else None
             self.scheme = ctx.scheme
-            # Counters.
-            self.sweeps = 0
+            # Counters.  A restarted peer resumes its sweep counter from
+            # the checkpoint so relaxation counts stay comparable to the
+            # fault-free run (re-executed sweeps are counted once).
+            self.sweeps = int(sub.get("start_sweep", 0))
             self.wait_time = 0.0
             self.sends = 0
             self.receives = 0
@@ -409,24 +427,36 @@ class _BlockSolver:
             # dispatch/collect and ghost application, in driver order.
             self._recorder = active_recorder()
             if self._recorder is not None:
-                self._recorder.register_peer(
-                    rank=self.rank,
-                    lo=self.state.lo,
-                    hi=self.state.hi,
-                    block=self.state.block,
-                    ghost_below=self.state.ghost_below,
-                    ghost_above=self.state.ghost_above,
-                    solve={
-                        "problem": self.kind,
-                        "n": self.n,
-                        "n_peers": ctx.n_workers,
-                        "delta": self.state.delta,
-                        "dtype": self.dtype.name,
-                        "local_sweep": self.state.local_sweep,
-                        "scheme": self.scheme.value,
-                        "tol": self.tol,
-                    },
-                )
+                if self.restarted and self._recorder.has_peer(self.rank):
+                    # Crash recovery mid-trace: the rank already exists
+                    # in the live trace, so record the restored state as
+                    # an event rather than opening a new trace.
+                    self._recorder.restore(
+                        rank=self.rank,
+                        iteration=self.sweeps,
+                        block=self.state.block,
+                        ghost_below=self.state.ghost_below,
+                        ghost_above=self.state.ghost_above,
+                    )
+                else:
+                    self._recorder.register_peer(
+                        rank=self.rank,
+                        lo=self.state.lo,
+                        hi=self.state.hi,
+                        block=self.state.block,
+                        ghost_below=self.state.ghost_below,
+                        ghost_above=self.state.ghost_above,
+                        solve={
+                            "problem": self.kind,
+                            "n": self.n,
+                            "n_peers": ctx.n_workers,
+                            "delta": self.state.delta,
+                            "dtype": self.dtype.name,
+                            "local_sweep": self.state.local_sweep,
+                            "scheme": self.scheme.value,
+                            "tol": self.tol,
+                        },
+                    )
         except BaseException:
             # Nothing past the acquire may leak the shared runner.
             self.close()
@@ -466,6 +496,12 @@ class _BlockSolver:
         for nb in (self.left, self.right):
             if nb is not None:
                 yield ctx.connect(nb)
+        if self.restarted and not self.exact_mode:
+            # The coordinator may still hold this rank's pre-crash
+            # CONV(True); a restarted peer must re-earn its streak
+            # before any verification round can certify a STOP.
+            self.locally_converged = False
+            self._send_term(0, ("CONV", False))
         while not self.stopped and self.sweeps < self.max_relax:
             self._drain_env_nowait()
             if self.stopped:
@@ -473,10 +509,7 @@ class _BlockSolver:
             self._pull_async_ghosts()
             diff = yield from self._sweep_step()
             if self.checkpoint_every and self.sweeps % self.checkpoint_every == 0:
-                ctx.checkpoint({
-                    "rank": self.rank, "lo": self.state.lo, "hi": self.state.hi,
-                    "block": self.state.block.copy(), "sweep": self.sweeps,
-                })
+                ctx.checkpoint(self._checkpoint_payload())
             exchange_events, recv_events = self._send_boundaries()
             self._report_termination(diff)
             if self.stopped:
@@ -486,7 +519,48 @@ class _BlockSolver:
                 if self.stopped:
                     break
                 self._apply_sync_ghosts(recv_events)
+        if (
+            self.stopped and self.restarted
+            and self.stop_info is not None and self.local_diff > self.tol
+        ):
+            yield from self._polish_local()
         return self._report()
+
+    def _checkpoint_payload(self) -> dict:
+        """Everything a restarted peer needs to resume: block, ghost
+        planes (its neighbours' last seen boundaries), sweep counter."""
+        state = self.state
+        return {
+            "rank": self.rank, "lo": state.lo, "hi": state.hi,
+            "block": state.block.copy(), "sweep": self.sweeps,
+            "ghost_below": (
+                None if state.ghost_below is None else state.ghost_below.copy()
+            ),
+            "ghost_above": (
+                None if state.ghost_above is None else state.ghost_above.copy()
+            ),
+        }
+
+    def _polish_local(self):
+        """Re-earn a STOP certificate issued against pre-crash state.
+
+        There is a narrow window where a STOP certified before (or
+        concurrently with) this peer's crash reaches the restarted
+        incarnation, whose restored block is older than the certificate.
+        The certificate's global claim is sound for every *other* peer,
+        so it suffices to relax the restored block against the held
+        boundary planes until the local criterion holds again — the
+        assembled solution is then never staler than the STOP it reports.
+        """
+        criterion = DiffCriterion(self.tol)
+        while self.sweeps < self.max_relax:
+            diff = yield from self._sweep_step()
+            if criterion.check(diff):
+                return
+        raise RuntimeError(
+            f"rank {self.rank}: no local re-convergence after restart in "
+            f"{self.max_relax} relaxations"
+        )
 
     def _run_single(self):
         """α = 1: the sequential sweep with compute-cost accounting.
@@ -774,6 +848,7 @@ class _BlockSolver:
                     "warm_start": self.warm_source,
                     "executor": self.executor,
                     "dtype": self.dtype.name,
+                    "restarted": self.restarted,
                 },
             },
         )

@@ -114,6 +114,7 @@ class BlockState:
         n = self.problem.grid.n
         self._inflight = False
         self._inflight_diff: Optional[float] = None
+        self._released = False
         if not 0 <= self.lo < self.hi <= n:
             raise ValueError(f"invalid plane range [{self.lo}, {self.hi})")
         if self.local_sweep not in ("gauss_seidel", "jacobi"):
@@ -292,8 +293,14 @@ class BlockState:
         campaign pool installed this is a no-op and the workspace is
         simply garbage-collected, as before.  An in-flight sweep is
         drained and discarded first, so abort paths (peer failure mid
-        compute-charge) never orphan a worker command.
+        compute-charge) never orphan a worker command.  A released state
+        can be released again freely — every teardown path (normal
+        report, Calculate()'s finally, fault-injection abort) calls it
+        without coordinating with the others.
         """
+        if self._released:
+            return
+        self._released = True
         self.abort_sweep()
         ws = getattr(self, "_workspace", None)
         if ws is not None:

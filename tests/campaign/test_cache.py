@@ -94,7 +94,10 @@ class TestDiskCache:
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0
-        assert list(tmp_path.iterdir()) == []
+        # Only the advisory lock file may remain: unlinking it while
+        # another driver holds it would break mutual exclusion.
+        leftovers = {p.name for p in tmp_path.iterdir()}
+        assert leftovers <= {".cache.lock"}
 
     def test_missing_entry_is_miss(self, tmp_path):
         assert ResultCache(tmp_path).load("deadbeef") is None
@@ -175,3 +178,54 @@ class TestDiskLRUEviction:
     def test_rejects_nonpositive_budget(self, tmp_path):
         with pytest.raises(ValueError, match="positive"):
             ResultCache(tmp_path, max_disk_bytes=0)
+
+
+class TestConcurrentWriters:
+    def test_shared_directory_under_budget_pressure(self, solved, tmp_path):
+        """Several drivers hammering one rooted cache: the flock'd
+        store + LRU-eviction compound must keep the directory within
+        budget, tear no entry pairs, and serve every surviving key."""
+        import threading
+
+        probe = ResultCache(tmp_path)
+        probe.store(_key(), solved)
+        entry_bytes = probe.disk_bytes()
+        assert entry_bytes > 0
+        probe.clear()
+        budget = 3 * entry_bytes + entry_bytes // 2
+
+        def keys_for(tid):
+            return [
+                cache_key(CampaignJob(n=8, n_peers=2, tol=1e-3,
+                                      seed=1 + tid * 100 + i).signature())
+                for i in range(5)
+            ]
+
+        errors = []
+
+        def writer(tid):
+            cache = ResultCache(tmp_path, max_disk_bytes=budget)
+            try:
+                for key in keys_for(tid):
+                    cache.store(key, solved)
+                    cache.load(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(tid,))
+                   for tid in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        reader = ResultCache(tmp_path, max_disk_bytes=budget)
+        assert reader.disk_bytes() <= budget
+        survivors = [p.stem for p in tmp_path.glob("*.json")]
+        assert survivors  # the budget never thrashes to empty
+        for key in survivors:
+            assert (tmp_path / f"{key}.npy").exists()  # no torn pairs
+            loaded = reader.load(key)
+            assert loaded is not None
+            assert loaded.residual == solved.residual

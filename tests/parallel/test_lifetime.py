@@ -266,3 +266,39 @@ class TestSharedRebind:
                 rebind_shared_runner(runner, 0.1)
         finally:
             runner.close()
+
+
+class TestShardLabels:
+    """Orphaned-sweep errors name the owning peer, not just the shard."""
+
+    def test_close_with_pending_names_the_owning_peer(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            runner.label_shard(1, "rank 1 (peer01)")
+            runner.submit_sweep(1)
+            with pytest.raises(RuntimeError,
+                               match=r"1 \[rank 1 \(peer01\)\]"):
+                runner.close()
+            runner.wait_sweep(1)
+        finally:
+            runner.close(discard_pending=True)
+
+    def test_rebind_with_pending_names_the_owning_peer(self):
+        runner = ParallelBlockRunner("membrane", N, ranges=RANGES)
+        try:
+            runner.label_shard(0, "rank 0 (peer00)")
+            runner.submit_sweep(0)
+            with pytest.raises(RuntimeError,
+                               match=r"0 \[rank 0 \(peer00\)\]"):
+                runner.rebind_delta(runner.delta / 2)
+            runner.wait_sweep(0)
+        finally:
+            runner.close(discard_pending=True)
+
+    def test_labels_are_clearable_and_optional(self):
+        with ParallelBlockRunner("membrane", N, ranges=RANGES) as runner:
+            runner.label_shard(0, "rank 0 (peer00)")
+            assert runner.describe_shards({0, 1}) == \
+                "0 [rank 0 (peer00)], 1"
+            runner.label_shard(0, None)
+            assert runner.describe_shards({0, 1}) == "0, 1"

@@ -131,3 +131,33 @@ class TestBlockState:
         for _ in range(4000):
             d = s.sweep()
         assert d < 1e-12
+
+
+class TestRelease:
+    """Every teardown path — normal report, Calculate()'s finally, a
+    fault-injection abort — calls release() without coordinating with
+    the others, so it must be idempotent and drain in-flight work."""
+
+    def _state(self):
+        problem = membrane_problem(8)
+        return BlockState(problem=problem, lo=0, hi=8,
+                          delta=problem.jacobi_delta())
+
+    def test_release_is_idempotent(self):
+        state = self._state()
+        state.sweep()
+        state.release()
+        state.release()
+        state.release()
+
+    def test_release_drains_an_in_flight_sweep(self):
+        state = self._state()
+        state.begin_sweep()
+        state.release()  # must not raise or orphan the sweep
+        state.release()
+
+    def test_block_survives_release(self):
+        state = self._state()
+        before = np.array(state.block, copy=True)
+        state.release()
+        assert np.array_equal(state.block, before)
