@@ -18,10 +18,13 @@ sweep through pooled workspaces / keep-alive worker pools vs ten cold
 harness runs, with ``cpu_count`` recorded next to it), and the
 asynchronous-stepping overlap (``async_overlap``: the same async
 process-executor solve blocking vs split-phase, ``cpu_count``
-alongside — ≥ 2 cores needed for a real speedup), and writes the
-result as JSON.  The checked-in ``BENCH_micro.json`` is the perf
-trajectory record: future PRs rerun this script and compare against it
-before touching a hot path.
+alongside — ≥ 2 cores needed for a real speedup), and the campaign
+cache-service hit rate (``campaign_cache_service``, lifted from the
+cached-sweep benchmark's ``extra_info`` counters and gated exactly —
+the counts are deterministic), and writes the result as JSON.  The
+checked-in ``BENCH_micro.json`` is the perf trajectory record: future
+PRs rerun this script and compare against it before touching a hot
+path.
 
 ``--check`` runs fresh benchmarks and *diffs* them against the committed
 JSON instead of overwriting it: any benchmark slower than the committed
@@ -167,6 +170,15 @@ def summarize(raw: dict) -> dict:
         # The 1-core-container caveat lives next to the number it
         # qualifies, not only in the top-level field.
         campaign["cpu_count"] = os.cpu_count()
+    cache_service = {}
+    for bench in raw["benchmarks"]:
+        info = bench.get("extra_info") or {}
+        if "cache_hit_rate" in info:
+            cache_service[bench["name"]] = {
+                "hits": info["cache_hits"],
+                "misses": info["cache_misses"],
+                "hit_rate": info["cache_hit_rate"],
+            }
     async_overlap = {}
     for label, (blocking, overlap) in ASYNC_PAIRS.items():
         if blocking in results and overlap in results:
@@ -188,6 +200,7 @@ def summarize(raw: dict) -> dict:
         "executor_speedups_vs_inline": executor_speedups,
         "dtype_speedups_float32_vs_float64": dtype_speedups,
         "campaign_setup_amortization": campaign,
+        "campaign_cache_service": cache_service,
         "async_overlap": async_overlap,
         "benchmarks": results,
     }
@@ -209,6 +222,10 @@ def print_summary(summary: dict) -> None:
             continue
         print(f"  campaign {label}: {ratio:.2f}x pooled vs cold "
               f"({cores} core(s) available)")
+    for label, stats in summary.get("campaign_cache_service", {}).items():
+        print(f"  cache service {label}: hit rate "
+              f"{stats['hit_rate']:.0%} ({stats['hits']} hits, "
+              f"{stats['misses']} misses)")
     for label, ratio in summary.get("async_overlap", {}).items():
         if label == "cpu_count":
             continue
@@ -234,7 +251,8 @@ def _gate_ratio_section(fresh: dict, committed: dict, section: str,
             verdict = "skip"
         elif ratio < 1.0 / (1.0 + tolerance):
             verdict = "WORSE"
-            failures.append((f"{section}/{name}", 1.0 / ratio))
+            failures.append(f"{section}/{name}: {1.0 / ratio:.2f}x "
+                            "slower than committed")
         print(f"  {verdict:6s}{label} {name}: "
               f"{fresh_sec[name]:.2f}x vs committed "
               f"{committed_sec[name]:.2f}x "
@@ -260,7 +278,7 @@ def check(fresh: dict, committed: dict, tolerance: float) -> int:
         verdict = "ok"
         if ratio > 1.0 + tolerance:
             verdict = "SLOWER"
-            failures.append((name, ratio))
+            failures.append(f"{name}: {ratio:.2f}x slower than committed")
         print(f"  {verdict:6s}{name}: {stats['mean_s'] * 1e3:.3f} ms "
               f"vs {base['mean_s'] * 1e3:.3f} ms ({ratio:.2f}x)")
     for name in sorted(set(committed.get("benchmarks", {})) -
@@ -276,10 +294,25 @@ def check(fresh: dict, committed: dict, tolerance: float) -> int:
                         "campaign amortization", tolerance, failures)
     _gate_ratio_section(fresh, committed, "async_overlap",
                         "async overlap", tolerance, failures)
+    # The cache hit rate is deterministic (fixed pedantic rounds), so
+    # it is gated exactly, with no tolerance: any drop means campaign
+    # jobs silently stopped being cache-served.
+    fresh_cs = fresh.get("campaign_cache_service", {})
+    committed_cs = committed.get("campaign_cache_service", {})
+    for name in sorted(set(fresh_cs) & set(committed_cs)):
+        got = fresh_cs[name]["hit_rate"]
+        want = committed_cs[name]["hit_rate"]
+        verdict = "ok"
+        if got < want:
+            verdict = "WORSE"
+            failures.append(f"campaign_cache_service/{name}: hit rate "
+                            f"{got:.2%} below committed {want:.2%}")
+        print(f"  {verdict:6s}cache service {name}: hit rate {got:.2%} "
+              f"vs committed {want:.2%}")
     if failures:
         print(f"{len(failures)} benchmark(s) regressed past tolerance:")
-        for name, ratio in failures:
-            print(f"  {name}: {ratio:.2f}x slower than committed")
+        for message in failures:
+            print(f"  {message}")
         return 1
     print("all shared benchmarks within tolerance")
     return 0

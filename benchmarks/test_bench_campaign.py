@@ -14,14 +14,17 @@ it: the process-executor ratio reflects pool startup amortization and
 holds even on one core (this container), where forking workers per
 solve is pure overhead.
 
-The result cache is deliberately off: these measure pooled *execution*,
-not cache service (a cached pass solves nothing and would measure only
-deserialization).
+The result cache is deliberately off for the amortization pairs: they
+measure pooled *execution*, not cache service.  Cache service gets its
+own benchmark (``test_bench_campaign_cached_service``): the same sweep
+run again through a populated cache, with the cache's hit/miss counters
+recorded as ``extra_info`` — ``run_bench.py`` lifts the hit rate into
+``BENCH_micro.json`` as a first-class gated metric.
 """
 
 import numpy as np
 
-from repro.campaign import Campaign, expand_matrix
+from repro.campaign import Campaign, ResultCache, expand_matrix
 from repro.experiments.harness import run_configuration
 from repro.solvers.distributed_richardson import get_problem
 
@@ -96,3 +99,29 @@ def test_bench_campaign_pooled_process(benchmark):
     """10-job campaign, process executor: one keep-alive ShardPool
     survives the whole sweep (rebound between deltas, never re-forked)."""
     _bench_pooled(benchmark, "process")
+
+
+def test_bench_campaign_cached_service(benchmark):
+    """The 10-job sweep served from a populated result cache: an
+    upper bound on campaign service latency when nothing needs solving.
+
+    The cache's lifetime counters ride along as ``extra_info``; with
+    pedantic rounds fixed, the hit rate is deterministic (first pass
+    misses, every measured pass hits), so ``run_bench.py --check`` can
+    gate it exactly: any drop means jobs silently stopped hitting.
+    """
+    jobs = _delta_sweep_jobs("inline")
+    cache = ResultCache()
+    campaign = Campaign(jobs, cache=cache)
+    try:
+        campaign.run()  # populate: N_JOBS misses + stores
+        outcome = benchmark.pedantic(campaign.run, rounds=3,
+                                     iterations=1, warmup_rounds=1)
+        assert outcome.cache_hits == N_JOBS
+    finally:
+        campaign.close()
+    stats = cache.stats()
+    assert stats["misses"] == N_JOBS  # only the populating pass missed
+    benchmark.extra_info["cache_hits"] = stats["hits"]
+    benchmark.extra_info["cache_misses"] = stats["misses"]
+    benchmark.extra_info["cache_hit_rate"] = round(stats["hit_rate"], 4)

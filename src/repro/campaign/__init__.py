@@ -19,7 +19,11 @@ pool from scratch per run.  This package is the batching layer between
     and optionally on disk;
 :mod:`~repro.campaign.engine`
     :class:`Campaign` — executes a plan through the pools, keep-alive
-    shard-pool leases, the cache, and optional warm starts.
+    shard-pool leases, the cache, and optional warm starts;
+:mod:`~repro.campaign.driver`
+    :class:`DriverPool` — worker processes behind
+    ``Campaign(drivers=N)``, each executing whole warm-start branches
+    against its own :class:`~repro.resources.ResourceContext`.
 
 Entry points: the programmatic :class:`Campaign` API, the
 ``python -m repro.experiments campaign`` CLI, and the
@@ -27,7 +31,9 @@ Entry points: the programmatic :class:`Campaign` API, the
 ``campaign_setup_amortization`` in ``BENCH_micro.json``.
 """
 
+from ..resources import ResourceContext
 from .cache import CACHE_SCHEMA, ResultCache, cache_key
+from .driver import DriverPool
 from .engine import Campaign, CampaignResult, ExecutedJob
 from .jobs import CampaignJob, CampaignPlan, expand_matrix, plan_jobs
 from .pool import WorkspacePool
@@ -38,7 +44,9 @@ __all__ = [
     "CampaignJob",
     "CampaignPlan",
     "CampaignResult",
+    "DriverPool",
     "ExecutedJob",
+    "ResourceContext",
     "ResultCache",
     "WorkspacePool",
     "cache_key",

@@ -140,6 +140,27 @@ class ResultCache:
                 self._store_disk(key, result, signature)
                 self._enforce_disk_budget(just_stored=key)
 
+    def has_memory(self, key: str) -> bool:
+        """Whether ``key`` is resident in the in-memory layer (no disk
+        I/O, no counter movement — a pure planning probe)."""
+        return key in self._memory
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of this instance's lifetime counters.
+
+        ``hit_rate`` is hits / (hits + misses), 0.0 before any lookup.
+        Counters are per-instance (process-local): a shared rooted
+        directory has one set of counters per driver touching it.
+        """
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
     def clear(self) -> None:
         """Drop every entry, memory and disk."""
         self._memory.clear()

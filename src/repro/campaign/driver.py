@@ -1,0 +1,213 @@
+"""Driver worker processes executing whole campaign branches.
+
+A :class:`DriverPool` is the execution half of a multi-driver campaign
+(``Campaign(drivers=N)``): N long-lived worker processes, each owning a
+private :class:`~repro.resources.ResourceContext` (its own workspace
+pool, problem cache, and shared-runner registry — see the ownership
+rules in :mod:`repro.campaign.engine`), each executing whole warm-start
+branches through the same :func:`~repro.campaign.engine._execute_chunk`
+body the sequential engine uses.  Workers are farm-scheduled: branches
+are handed out in plan order as drivers go idle, so the assignment of
+branch→driver depends on timing but the *records* never do — every
+branch is a self-contained deterministic job sequence.
+
+Workers are ``daemon=False`` deliberately: a driver running a
+process-executor job spawns its own :class:`~repro.parallel.ShardPool`,
+and daemonic processes may not have children.
+
+The only cross-driver state is the result cache's disk layer: each
+worker rebuilds its own :class:`~repro.campaign.cache.ResultCache` from
+a picklable spec (:func:`cache_spec`), so a *rooted* cache is shared
+through the flock-serialized directory while a memory-only cache is
+private per worker (the parent re-members returned results, so repeat
+runs of one campaign object still hit).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from multiprocessing.connection import wait as _connection_wait
+from typing import Optional
+
+from ..parallel.pool import _start_method
+
+__all__ = ["DriverPool", "cache_spec"]
+
+
+def cache_spec(cache) -> Optional[dict]:
+    """Picklable constructor kwargs rebuilding ``cache`` in a worker.
+
+    Only the configuration crosses the pipe — never entries or
+    counters; a rooted cache's workers share its *directory*, nothing
+    in-process.
+    """
+    if cache is None:
+        return None
+    return {
+        "root": str(cache.root) if cache.root is not None else None,
+        "max_memory_entries": cache.max_memory_entries,
+        "max_disk_bytes": cache.max_disk_bytes,
+    }
+
+
+def _worker_main(conn, index: int, spec: Optional[dict],
+                 pool_workspaces: bool, keep_runners: bool) -> None:
+    """Driver body: build a private context, serve branches until close."""
+    # Imported here, not at module top: under spawn/forkserver the
+    # worker imports this module fresh, and the engine import would drag
+    # the whole solver stack into *every* interpreter that merely
+    # imports repro.campaign.driver.
+    from ..resources import ResourceContext
+    from .cache import ResultCache
+    from .engine import _execute_chunk, _release_leases
+    from .pool import WorkspacePool
+
+    resources = ResourceContext(name=f"driver-{index}")
+    if pool_workspaces:
+        resources.workspace_pool = WorkspacePool()
+    cache = ResultCache(**spec) if spec is not None else None
+    leases: dict = {}
+    try:
+        conn.send(("ready", index))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "close":
+                break
+            _tag, branch_index, tasks = msg
+            try:
+                records = _execute_chunk(
+                    tasks, cache=cache, resources=resources,
+                    leases=leases, keep_runners=keep_runners,
+                )
+                conn.send(("done", branch_index, records))
+            except Exception:  # surface the traceback, don't die silently
+                conn.send(("error", branch_index, traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        try:
+            _release_leases(leases, resources)
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        conn.close()
+
+
+class DriverPool:
+    """N worker processes executing campaign branches concurrently."""
+
+    def __init__(self, drivers: int, *, cache_spec: Optional[dict] = None,
+                 pool_workspaces: bool = True, keep_runners: bool = True,
+                 start_method: Optional[str] = None):
+        # First thing, so close() — and the __del__ safety net — work on
+        # a pool that fails anywhere in construction.
+        self._closed = False
+        self._conns = []
+        self._procs = []
+        drivers = int(drivers)
+        if drivers < 1:
+            raise ValueError(f"drivers must be >= 1, got {drivers}")
+        self.drivers = drivers
+        method = _start_method(start_method)
+        self._ctx = multiprocessing.get_context(method)
+        for w in range(drivers):
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child, w, cache_spec, pool_workspaces, keep_runners),
+                name=f"repro-campaign-driver-{w}",
+                # Drivers spawn ShardPools for process-executor jobs;
+                # daemonic processes may not have children.
+                daemon=False,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        try:
+            for w, conn in enumerate(self._conns):
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"campaign driver {w} died before reporting ready"
+                    ) from None
+                if msg[0] != "ready":
+                    raise RuntimeError(
+                        f"campaign driver {w} failed to start: {msg!r}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "DriverPool is closed — its workers are gone; build a "
+                "fresh Campaign instead of reusing a closed one"
+            )
+
+    def run_branches(self, branches, progress=None) -> list[list]:
+        """Execute every branch; returns per-branch record lists in
+        *submission* order (whatever order drivers finished in).
+
+        ``branches`` is a list of task lists as built by the engine —
+        each task ``(job, cache_key, signature, warm_from)``.
+        ``progress`` is called per record in completion order.
+        """
+        self._check_open()
+        results: list = [None] * len(branches)
+        pending = list(range(len(branches)))
+        idle = list(range(self.drivers))
+        active: dict[int, int] = {}  # worker -> branch index
+        while pending or active:
+            while pending and idle:
+                w = idle.pop(0)
+                b = pending.pop(0)
+                self._conns[w].send(("branch", b, branches[b]))
+                active[w] = b
+            ready = _connection_wait([self._conns[w] for w in active])
+            for conn in ready:
+                w = self._conns.index(conn)
+                b = active.pop(w)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"campaign driver {w} died while executing "
+                        f"branch {b}"
+                    ) from None
+                if msg[0] == "error":
+                    raise RuntimeError(
+                        f"campaign driver {w} failed on branch {b}:\n"
+                        f"{msg[2]}"
+                    )
+                results[b] = msg[2]
+                idle.append(w)
+                if progress is not None:
+                    for record in msg[2]:
+                        progress(record)
+        return results
+
+    def close(self, timeout: float = 10.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=timeout)
+        for conn in self._conns:
+            conn.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close(timeout=0.5)
+        except Exception:
+            pass

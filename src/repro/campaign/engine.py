@@ -4,9 +4,9 @@
 from scratch per run; a :class:`Campaign` executes a whole matrix of
 jobs through resources that live for the campaign instead:
 
-- a :class:`~repro.campaign.pool.WorkspacePool` installed via the
-  kernel-layer hook, so per-peer sweep workspaces are checked out and
-  rebound instead of reallocated;
+- a :class:`~repro.campaign.pool.WorkspacePool` installed on the
+  campaign's resource context, so per-peer sweep workspaces are checked
+  out and rebound instead of reallocated;
 - keep-alive leases on the refcounted shared-runner registry of
   :mod:`repro.parallel.runner`, so one persistent
   :class:`~repro.parallel.ShardPool` (worker processes + shm arena)
@@ -24,6 +24,41 @@ to cold ``run_configuration`` calls (iterates, relaxation counts,
 simulated time) — the equivalence suite asserts it.  Warm starts are
 the one deliberate exception: they change the starting iterate, which
 is exactly their point, and are off by default.
+
+Parallel drivers and resource-context ownership
+-----------------------------------------------
+``Campaign(drivers=N)`` with N ≥ 2 splits the plan into its independent
+warm-start branches (:meth:`CampaignPlan.branches`) and executes whole
+branches in N :class:`~repro.campaign.driver.DriverPool` worker
+processes.  Because no warm edge crosses a branch and every job's cache
+key is computable statically from the plan (warm edges chain through
+the *predecessor's* cache key, not its result), branches need nothing
+from each other at runtime — records come back bit-identical to the
+sequential engine's, whatever the completion order.
+
+Ownership rules for the :class:`~repro.resources.ResourceContext` that
+makes this safe:
+
+- **One context per executing owner.**  The sequential path runs every
+  job against the campaign's own private context; each driver worker
+  builds its own context at startup.  The process-wide *default*
+  context belongs to plain (non-campaign) call sites — campaign
+  execution never reads or writes it, so two campaigns (or a campaign
+  and a direct ``run_configuration``) can run concurrently in one
+  process without sharing workspace pools, problem caches, or runner
+  leases.
+- **Runner leases are held only by their context's owner.**  A
+  keep-alive lease pins a live worker pool + shm arena; the solver's
+  own acquire finds it by key *in the same context*.  Drivers never
+  share a runner: a ``ParallelBlockRunner`` is not shareable across
+  processes, and a lease visible to two drivers would let one rebind
+  its delta underneath the other's live solve — the registry's
+  single-holder rebind rule makes per-driver ownership a hard
+  invariant, not a convention.
+- **What drivers *do* share is results, not resources**: the disk layer
+  of a rooted :class:`ResultCache` (content-addressed, atomic-rename
+  writes, advisory-flock eviction) is the one cross-driver channel, and
+  it is safe precisely because entries are immutable once written.
 """
 
 from __future__ import annotations
@@ -34,8 +69,8 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from ..numerics.kernels import set_workspace_pool
 from ..numerics.tolerances import resolve_dtype
+from ..resources import ResourceContext
 from .cache import ResultCache, cache_key
 from .jobs import CampaignJob, CampaignPlan, plan_jobs
 from .pool import WorkspacePool
@@ -82,11 +117,21 @@ class CampaignResult:
         return sum(1 for r in self.records if r.source == "duplicate")
 
     def result_for(self, job: CampaignJob):
-        key = job.key()
-        for record in self.records:
-            if record.key == key:
-                return record.result
-        raise KeyError(f"no record for job {job.label()!r}")
+        """The result of ``job`` (first record with its key), O(1).
+
+        The index is built lazily on first lookup — sweeps calling this
+        per job used to pay a linear scan each time, O(n²) overall.
+        """
+        index = self.__dict__.get("_key_index")
+        if index is None:
+            index = {}
+            for record in self.records:
+                index.setdefault(record.key, record)
+            self.__dict__["_key_index"] = index
+        try:
+            return index[job.key()].result
+        except KeyError:
+            raise KeyError(f"no record for job {job.label()!r}") from None
 
     def rows(self) -> list[dict]:
         """Tabular summary (one dict per submitted job)."""
@@ -100,6 +145,117 @@ class CampaignResult:
         return out
 
 
+# -- shared execution core ----------------------------------------------------------
+#
+# One function executes jobs everywhere: the sequential path runs the
+# whole plan order as a single chunk in-process; each driver worker
+# runs one branch per call.  Sharing the body (and precomputing cache
+# keys/signatures on the planning side) is what makes multi-driver
+# records bit-identical to sequential ones.
+
+
+def _execute_chunk(tasks, *, cache, resources, leases, keep_runners,
+                   progress=None) -> list[ExecutedJob]:
+    """Run ``tasks`` — ``(job, cache_key, signature, warm_from)``
+    tuples, warm sources always preceding their dependents — in order
+    against ``resources``.  Returns one :class:`ExecutedJob` per task.
+    """
+    from ..experiments.harness import run_configuration
+
+    results: dict[str, ExecutedJob] = {}
+    records: list[ExecutedJob] = []
+    for job, ckey, signature, warm_from in tasks:
+        key = job.key()
+        t0 = time.perf_counter()
+        result = cache.load(ckey) if cache is not None else None
+        source = "cache"
+        if result is None:
+            source = "run"
+            if job.executor == "process" and keep_runners:
+                _ensure_runner_lease(job, leases, resources)
+            warm_u = warm_label = None
+            if warm_from is not None and warm_from in results:
+                seed = results[warm_from].result.report.u
+                warm_u = np.ascontiguousarray(
+                    seed, dtype=resolve_dtype(job.dtype)
+                )
+                warm_label = f"campaign:{warm_from}"
+            result = run_configuration(
+                n=job.n, n_peers=job.n_peers,
+                n_clusters=job.n_clusters, scheme=job.scheme,
+                n_paper=job.n_paper, tol=job.tol,
+                problem=job.problem, seed=job.seed,
+                dtype=job.dtype, executor=job.executor,
+                delta=job.delta, warm_start_u=warm_u,
+                warm_start_label=warm_label,
+                extra_params=job.extra_params or None,
+                resources=resources,
+            )
+            if cache is not None:
+                cache.store(ckey, result, signature)
+        record = ExecutedJob(
+            job=job, key=key, cache_key=ckey, result=result,
+            source=source, warm_from=warm_from,
+            wall_time=time.perf_counter() - t0,
+        )
+        results[key] = record
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return records
+
+
+def _ensure_runner_lease(job: CampaignJob, leases: dict,
+                         resources) -> None:
+    """Hold (or rebind) the shared runner this job's solve will acquire
+    in ``resources``, so the worker pool and arena survive the solve.
+
+    The lease key mirrors the solver's own registry key minus the
+    delta; when the held runner's delta differs from the job's, the
+    live pool is rebound in place instead of torn down — that is what
+    amortizes worker startup across a delta sweep.
+    """
+    from ..parallel.runner import (
+        acquire_shared_runner,
+        rebind_shared_runner,
+    )
+    from ..solvers.distributed_richardson import (
+        assignment_from_params,
+        get_problem,
+    )
+
+    extra = job.extra_params
+    params = {"weights": extra["weights"]} if "weights" in extra else {}
+    assignment = assignment_from_params(params, job.n, job.n_peers)
+    ranges = tuple((r.start, r.stop) for r in assignment.ranges)
+    workers = extra.get("executor_workers")
+    workers = int(workers) if workers is not None else None
+    start_method = extra.get("executor_start_method")
+    delta = job.delta if job.delta is not None else \
+        get_problem(job.problem, job.n, resources=resources).jacobi_delta()
+    base = (job.problem, job.n, ranges, workers, start_method,
+            resolve_dtype(job.dtype).name)
+    runner = leases.get(base)
+    if runner is None:
+        leases[base] = acquire_shared_runner(
+            job.problem, job.n, ranges=ranges, delta=delta,
+            n_workers=workers, start_method=start_method,
+            dtype=job.dtype, resources=resources,
+        )
+    elif runner.delta != float(delta):
+        rebind_shared_runner(runner, delta, resources=resources)
+
+
+def _release_leases(leases: dict, resources) -> None:
+    """Release every keep-alive lease held in ``resources``."""
+    from ..parallel.runner import release_shared_runner
+
+    held = list(leases.values())
+    leases.clear()
+    for runner in held:
+        release_shared_runner(runner, resources=resources)
+
+
 class Campaign:
     """A batch of solve jobs executed through pooled resources.
 
@@ -109,7 +265,10 @@ class Campaign:
         Any iterable of :class:`CampaignJob` (duplicates allowed — they
         collapse onto one run).
     cache:
-        A :class:`ResultCache`, or None to always solve.
+        A :class:`ResultCache`, or None to always solve.  With
+        ``drivers >= 2`` a *rooted* cache is what makes re-runs
+        cache-served across driver boundaries (memory-only caches are
+        private to each worker process).
     warm_start:
         Chain delta-sweep groups nearest-neighbour and seed each solve
         from its predecessor's solution.
@@ -117,24 +276,83 @@ class Campaign:
         The two pooling dimensions; both default on.  Disabling both
         (and the cache) makes ``run()`` equivalent to a loop of cold
         ``run_configuration`` calls — the benchmark baseline.
+    drivers:
+        1 (default) executes the plan sequentially in this process —
+        bit-identical to the historical engine.  N ≥ 2 executes
+        independent warm-start branches in N driver worker processes
+        (see the module docstring for the ownership rules); records are
+        bit-identical to sequential for every job.
+    resources:
+        The :class:`~repro.resources.ResourceContext` the sequential
+        path executes against; defaults to a private per-campaign
+        context.  Driver workers always build their own.
 
-    A campaign can be ``run()`` repeatedly (leases and pools persist
-    between runs — that is the point); ``close()`` releases everything.
-    Usable as a context manager.
+    A campaign can be ``run()`` repeatedly (leases, pools and driver
+    workers persist between runs — that is the point); ``close()``
+    releases everything.  Usable as a context manager.
     """
 
     def __init__(self, jobs: Iterable[CampaignJob], *,
                  cache: Optional[ResultCache] = None,
                  warm_start: bool = False,
                  pool_workspaces: bool = True,
-                 keep_runners: bool = True):
+                 keep_runners: bool = True,
+                 drivers: int = 1,
+                 resources: Optional[ResourceContext] = None):
+        drivers = int(drivers)
+        if drivers < 1:
+            raise ValueError(f"drivers must be >= 1, got {drivers}")
         self.plan = plan_jobs(jobs, warm_start=warm_start)
         self.cache = cache
         self.warm_start = warm_start
-        self.workspace_pool = WorkspacePool() if pool_workspaces else None
         self.keep_runners = keep_runners
+        self.pool_workspaces = pool_workspaces
+        self.drivers = drivers
+        self.resources = (resources if resources is not None
+                          else ResourceContext(name="campaign"))
+        if pool_workspaces:
+            if self.resources.workspace_pool is None:
+                self.resources.workspace_pool = WorkspacePool()
+            self.workspace_pool = self.resources.workspace_pool
+        else:
+            self.workspace_pool = None
         self._leases: dict[tuple, object] = {}
+        self._driver_pool = None
         self._closed = False
+
+    # -- planning ----------------------------------------------------------------
+
+    def _resolve_cache_keys(self) -> tuple[dict[str, str], dict[str, dict]]:
+        """Cache key + signature per unique job, computed statically.
+
+        The cache must key on the warm seed's *content*, not just the
+        predecessor's job identity: the predecessor may itself have
+        been warm-started (or not) depending on how this campaign's
+        sweep was cut, and its solution differs accordingly.  Chaining
+        through the predecessor's cache key makes the edge transitive —
+        a truncated or reordered sweep can never hit an entry produced
+        from a seed it did not compute.  Because the chain needs only
+        the predecessor's *key* (never its result), the whole map is a
+        pure function of the plan — which is what lets branches be
+        dispatched to drivers before anything has run.
+        """
+        ckeys: dict[str, str] = {}
+        signatures: dict[str, dict] = {}
+        for job in self.plan.order:
+            key = job.key()
+            warm_from = self.plan.warm_sources.get(key)
+            warm_ckey = ckeys[warm_from] if warm_from is not None else None
+            signature = dict(job.signature(), warm_from=warm_ckey)
+            signatures[key] = signature
+            ckeys[key] = cache_key(signature)
+        return ckeys, signatures
+
+    def _tasks_for(self, jobs, ckeys, signatures) -> list[tuple]:
+        return [
+            (job, ckeys[job.key()], signatures[job.key()],
+             self.plan.warm_sources.get(job.key()))
+            for job in jobs
+        ]
 
     # -- execution ---------------------------------------------------------------
 
@@ -142,69 +360,22 @@ class Campaign:
         """Execute the plan; returns one record per submitted job.
 
         ``progress``, when given, is called as ``progress(record)``
-        after each unique job resolves (CLI feedback hook).
+        after each unique job resolves (CLI feedback hook).  With
+        ``drivers >= 2`` the calls arrive in branch-completion order.
         """
         if self._closed:
             raise RuntimeError("campaign is closed")
-        from ..experiments.harness import run_configuration
-
-        previous_pool = None
-        if self.workspace_pool is not None:
-            previous_pool = set_workspace_pool(self.workspace_pool)
-        results: dict[str, ExecutedJob] = {}
-        try:
-            for job in self.plan.order:
-                key = job.key()
-                warm_from = self.plan.warm_sources.get(key)
-                # The cache must key on the warm seed's *content*, not
-                # just the predecessor's job identity: the predecessor
-                # may itself have been warm-started (or not) depending
-                # on how this campaign's sweep was cut, and its
-                # solution differs accordingly.  Chaining through the
-                # predecessor's cache key makes the edge transitive —
-                # a truncated or reordered sweep can never hit an entry
-                # produced from a seed it did not compute.
-                warm_ckey = (results[warm_from].cache_key
-                             if warm_from is not None else None)
-                signature = dict(job.signature(), warm_from=warm_ckey)
-                ckey = cache_key(signature)
-                t0 = time.perf_counter()
-                result = self.cache.load(ckey) if self.cache else None
-                source = "cache"
-                if result is None:
-                    source = "run"
-                    if job.executor == "process" and self.keep_runners:
-                        self._ensure_runner_lease(job)
-                    warm_u = warm_label = None
-                    if warm_from is not None and warm_from in results:
-                        seed = results[warm_from].result.report.u
-                        warm_u = np.ascontiguousarray(
-                            seed, dtype=resolve_dtype(job.dtype)
-                        )
-                        warm_label = f"campaign:{warm_from}"
-                    result = run_configuration(
-                        n=job.n, n_peers=job.n_peers,
-                        n_clusters=job.n_clusters, scheme=job.scheme,
-                        n_paper=job.n_paper, tol=job.tol,
-                        problem=job.problem, seed=job.seed,
-                        dtype=job.dtype, executor=job.executor,
-                        delta=job.delta, warm_start_u=warm_u,
-                        warm_start_label=warm_label,
-                        extra_params=job.extra_params or None,
-                    )
-                    if self.cache is not None:
-                        self.cache.store(ckey, result, signature)
-                record = ExecutedJob(
-                    job=job, key=key, cache_key=ckey, result=result,
-                    source=source, warm_from=warm_from,
-                    wall_time=time.perf_counter() - t0,
-                )
-                results[key] = record
-                if progress is not None:
-                    progress(record)
-        finally:
-            if self.workspace_pool is not None:
-                set_workspace_pool(previous_pool)
+        ckeys, signatures = self._resolve_cache_keys()
+        if self.drivers == 1:
+            executed = _execute_chunk(
+                self._tasks_for(self.plan.order, ckeys, signatures),
+                cache=self.cache, resources=self.resources,
+                leases=self._leases, keep_runners=self.keep_runners,
+                progress=progress,
+            )
+        else:
+            executed = self._run_parallel(ckeys, signatures, progress)
+        results = {record.key: record for record in executed}
         records = []
         seen: set[str] = set()
         for job in self.plan.jobs:
@@ -217,68 +388,82 @@ class Campaign:
             records.append(record)
         return CampaignResult(records=records, plan=self.plan)
 
-    # -- pooled resources --------------------------------------------------------
+    def _run_parallel(self, ckeys, signatures, progress) -> list[ExecutedJob]:
+        branches = [
+            self._tasks_for(branch, ckeys, signatures)
+            for branch in self.plan.branches()
+        ]
+        executed: list[ExecutedJob] = []
+        remote: list[list] = []
+        for branch in branches:
+            if self.cache is not None and all(
+                    self.cache.has_memory(ckey)
+                    for _job, ckey, _sig, _warm in branch):
+                # Every job of this branch is resident in the parent's
+                # own memory layer (e.g. a prior run() of this campaign
+                # object): serve it here instead of shipping it to a
+                # driver, whose private memory cache may not have it.
+                # Branches only ever run whole, so partially-cached
+                # branches still go to a driver — a mid-chain solve
+                # needs its predecessor's record for the warm seed.
+                executed.extend(_execute_chunk(
+                    branch, cache=self.cache, resources=self.resources,
+                    leases=self._leases, keep_runners=self.keep_runners,
+                    progress=progress,
+                ))
+            else:
+                remote.append(branch)
+        if remote:
+            pool = self._ensure_driver_pool()
+            for branch_records in pool.run_branches(remote,
+                                                    progress=progress):
+                for record in branch_records:
+                    executed.append(record)
+                    # Mirror worker-computed results into this
+                    # process's memory layer, so result_for consumers
+                    # and later runs of *this* campaign object see
+                    # them without touching disk.  (This is the
+                    # campaign's own cache instance — never a module
+                    # global.)
+                    if self.cache is not None and record.source == "run":
+                        self.cache._remember(record.cache_key,
+                                             record.result)
+        return executed
 
-    def _ensure_runner_lease(self, job: CampaignJob) -> None:
-        """Hold (or rebind) the shared runner this job's solve will
-        acquire, so the worker pool and arena survive the solve.
+    def _ensure_driver_pool(self):
+        if self._driver_pool is None:
+            from .driver import DriverPool, cache_spec
 
-        The lease key mirrors the solver's own registry key minus the
-        delta; when the held runner's delta differs from the job's, the
-        live pool is rebound in place instead of torn down — that is
-        what amortizes worker startup across a delta sweep.
-        """
-        from ..parallel.runner import (
-            acquire_shared_runner,
-            rebind_shared_runner,
-        )
-        from ..solvers.distributed_richardson import (
-            assignment_from_params,
-            get_problem,
-        )
-
-        extra = job.extra_params
-        params = {"weights": extra["weights"]} if "weights" in extra else {}
-        assignment = assignment_from_params(params, job.n, job.n_peers)
-        ranges = tuple((r.start, r.stop) for r in assignment.ranges)
-        workers = extra.get("executor_workers")
-        workers = int(workers) if workers is not None else None
-        start_method = extra.get("executor_start_method")
-        delta = job.delta if job.delta is not None else \
-            get_problem(job.problem, job.n).jacobi_delta()
-        base = (job.problem, job.n, ranges, workers, start_method,
-                resolve_dtype(job.dtype).name)
-        runner = self._leases.get(base)
-        if runner is None:
-            self._leases[base] = acquire_shared_runner(
-                job.problem, job.n, ranges=ranges, delta=delta,
-                n_workers=workers, start_method=start_method,
-                dtype=job.dtype,
+            self._driver_pool = DriverPool(
+                self.drivers, cache_spec=cache_spec(self.cache),
+                pool_workspaces=self.pool_workspaces,
+                keep_runners=self.keep_runners,
             )
-        elif runner.delta != float(delta):
-            rebind_shared_runner(runner, delta)
+        return self._driver_pool
 
     @property
     def held_runners(self) -> int:
+        """Keep-alive leases held by the sequential path (driver
+        workers hold their own; those are not visible here)."""
         return len(self._leases)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Release every keep-alive lease and drop pooled workspaces.
+        """Release every keep-alive lease, drop pooled workspaces, and
+        shut down driver workers.
 
         Idempotent; after this the campaign cannot run again (build a
         new one — the cache, being external, survives)."""
         if self._closed:
             return
         self._closed = True
-        from ..parallel.runner import release_shared_runner
-
-        leases, self._leases = self._leases, {}
-        for runner in leases.values():
-            release_shared_runner(runner)
+        _release_leases(self._leases, self.resources)
         if self.workspace_pool is not None:
             self.workspace_pool.clear()
+        if self._driver_pool is not None:
+            pool, self._driver_pool = self._driver_pool, None
+            pool.close()
 
     def __enter__(self) -> "Campaign":
         return self

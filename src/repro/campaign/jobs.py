@@ -176,6 +176,32 @@ class CampaignPlan:
     def n_duplicates(self) -> int:
         return len(self.jobs) - len(self.order)
 
+    def branches(self) -> list[list[CampaignJob]]:
+        """The independent warm-start chains of the plan, in order.
+
+        A job opens a new branch unless it is warm-seeded by an
+        already-placed job, in which case it extends that job's branch
+        — so each branch is one contiguous warm chain and no warm edge
+        ever crosses branches.  Without warm starts every unique job is
+        its own singleton branch.  Concatenating the branches
+        reproduces ``order`` exactly; that is what lets the sequential
+        engine and the multi-driver scheduler execute the *same* job
+        sequences (branches only ever run whole, in submission order,
+        on one driver).
+        """
+        branches: list[list[CampaignJob]] = []
+        owner: dict[str, list[CampaignJob]] = {}
+        for job in self.order:
+            key = job.key()
+            src = self.warm_sources.get(key)
+            branch = owner.get(src) if src is not None else None
+            if branch is None:
+                branch = []
+                branches.append(branch)
+            branch.append(job)
+            owner[key] = branch
+        return branches
+
 
 def _group_key(job: CampaignJob) -> tuple:
     """Everything but delta: the axis a delta sweep varies along."""

@@ -11,9 +11,10 @@ re-faulting-in) those buffers per run is pure setup cost.
 ``(problem, delta)`` via :meth:`SweepWorkspace.rebind` — which
 recomputes exactly the constants a fresh construction would, so pooled
 sweeps are bit-identical to cold ones.  The campaign engine installs
-the pool through the kernel-layer hook
-(:func:`repro.numerics.kernels.set_workspace_pool`); the solver layer
-never knows whether its workspace is fresh or recycled.
+the pool on its :class:`~repro.resources.ResourceContext` (via the
+kernel-layer hook :func:`repro.numerics.kernels.set_workspace_pool`);
+the solver layer never knows whether its workspace is fresh or
+recycled.
 """
 
 from __future__ import annotations
@@ -55,10 +56,13 @@ class WorkspacePool:
         return (n, lo, hi, resolve_dtype(dtype).name)
 
     def checkout(self, problem, delta: float, lo: int = 0,
-                 hi: Optional[int] = None, dtype=None) -> SweepWorkspace:
+                 hi: Optional[int] = None, dtype=None,
+                 resources=None) -> SweepWorkspace:
         """A workspace for ``(problem, delta, [lo, hi), dtype)`` —
         recycled and rebound when a matching shape is idle, freshly
-        constructed otherwise."""
+        constructed otherwise.  ``resources`` only sizes a fresh
+        workspace's slab (the borrower's context supplies the autotune
+        verdict); the pool itself holds no context."""
         n = problem.grid.n
         hi = n if hi is None else hi
         idle = self._idle.get(self._key(n, lo, hi, dtype))
@@ -69,7 +73,8 @@ class WorkspacePool:
             self.reused += 1
             return ws
         self.created += 1
-        return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype)
+        return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype,
+                              resources=resources)
 
     def checkin(self, ws: SweepWorkspace) -> None:
         """Return a workspace to the free-list (drop it when full)."""

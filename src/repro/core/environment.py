@@ -41,6 +41,10 @@ class P2PDC:
     enable_load_balancing / enable_fault_tolerance:
         Turn the extensions on (both off reproduces the paper's current
         version exactly).
+    resources:
+        Optional :class:`~repro.resources.ResourceContext` every peer's
+        executor (and thus every solve in this deployment) resolves its
+        pooled resources against; ``None`` = the process default.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class P2PDC:
         oml: Optional[MeasurementLibrary] = None,
         enable_load_balancing: bool = False,
         enable_fault_tolerance: bool = False,
+        resources=None,
     ):
         if not network.nodes:
             raise ValueError("network has no nodes")
@@ -60,6 +65,7 @@ class P2PDC:
         if self.server_name not in network.nodes:
             raise ValueError(f"unknown server node {self.server_name!r}")
         self.oml = oml if oml is not None else MeasurementLibrary(sim)
+        self.resources = resources
 
         self.buses: dict[str, EnvBus] = {}
         self.executors: dict[str, TaskExecutor] = {}
@@ -67,7 +73,8 @@ class P2PDC:
         for name in network.nodes:
             bus = EnvBus(sim, network, name)
             self.buses[name] = bus
-            self.executors[name] = TaskExecutor(sim, bus, oml=self.oml)
+            self.executors[name] = TaskExecutor(sim, bus, oml=self.oml,
+                                                resources=resources)
 
         server_bus = self.buses[self.server_name]
         self.topology = TopologyServer(sim, server_bus)

@@ -131,6 +131,14 @@ class TaskContext:
         """The measurement library, for instrumenting the computation."""
         return self._executor.oml
 
+    @property
+    def resources(self):
+        """The :class:`~repro.resources.ResourceContext` this task's
+        deployment was built with (``None`` = the process default).
+        Delivered through the executor — never through ``params``, whose
+        size is modeled wire payload."""
+        return getattr(self._executor, "resources", None)
+
     # -- P2P_Send / P2P_Receive -------------------------------------------------------
 
     def p2p_send(self, rank: int, payload: Any):

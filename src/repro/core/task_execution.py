@@ -36,9 +36,16 @@ class TaskExecutor:
         sim: Simulator,
         bus: EnvBus,
         oml: Optional[MeasurementLibrary] = None,
+        resources=None,
     ):
         self.sim = sim
         self.bus = bus
+        #: The explicit :class:`~repro.resources.ResourceContext` every
+        #: task this executor runs resolves its pooled resources
+        #: (workspaces, shared runners, problems) against.  ``None`` =
+        #: the process default.  Out-of-band on purpose: task params are
+        #: simulated wire payload.
+        self.resources = resources
         self.network = bus.network
         self.node = bus.node
         node_name = self.node.name

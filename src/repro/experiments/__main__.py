@@ -28,7 +28,9 @@ engine; ``--n`` runs a custom matrix over the given axes.  With
 ``--warm-start``, delta-sweep groups are chained so each solve starts
 from its neighbour's solution.  ``--min-cache-hits K`` exits non-zero
 when fewer than K jobs were served from cache — the CI smoke job uses
-it to assert that a second pass actually hits.
+it to assert that a second pass actually hits.  ``--drivers N`` runs
+independent campaign branches in N driver worker processes sharing the
+disk cache; records stay bit-identical to the sequential engine.
 """
 
 from __future__ import annotations
@@ -118,20 +120,29 @@ def cmd_campaign(args) -> int:
         print(f"  [{record.source:5s}] {record.job.label()}  "
               f"({record.wall_time:.2f}s wall)", flush=True)
 
-    with Campaign(jobs, cache=cache, warm_start=args.warm_start) as campaign:
+    with Campaign(jobs, cache=cache, warm_start=args.warm_start,
+                  drivers=args.drivers) as campaign:
         outcome = campaign.run(progress=progress)
     rows = outcome.rows()
     headers = sorted({k for row in rows for k in row})
     print()
     print(format_table(headers, [[row.get(h, "") for h in headers]
                                  for row in rows], title=title))
-    pool = campaign.workspace_pool
     print(f"\njobs: {outcome.n_jobs}  solved: {outcome.runs}  "
           f"cache hits: {outcome.cache_hits}  "
           f"duplicates: {outcome.duplicates}")
-    if pool is not None:
-        print(f"workspace pool: {pool.created} created, "
-              f"{pool.reused} reused")
+    if args.drivers == 1:
+        # Pool and cache counters live in the driver workers otherwise.
+        pool = campaign.workspace_pool
+        if pool is not None:
+            print(f"workspace pool: {pool.created} created, "
+                  f"{pool.reused} reused")
+        if cache is not None:
+            stats = cache.stats()
+            print(f"result cache: {stats['hits']} hits, "
+                  f"{stats['misses']} misses, {stats['stores']} stores, "
+                  f"{stats['evictions']} evictions "
+                  f"(hit rate {stats['hit_rate']:.0%})")
     if args.min_cache_hits and outcome.cache_hits < args.min_cache_hits:
         print(f"FAIL: expected >= {args.min_cache_hits} cache hits, "
               f"got {outcome.cache_hits}")
@@ -232,6 +243,11 @@ def main(argv=None) -> int:
     group.add_argument("--warm-start", action="store_true",
                        help="seed each delta-sweep solve from its "
                             "neighbour's solution")
+    group.add_argument("--drivers", type=int, default=1,
+                       help="driver worker processes executing "
+                            "independent campaign branches in parallel "
+                            "(default 1 = sequential in-process; "
+                            "results are bit-identical either way)")
     group.add_argument("--min-cache-hits", type=int, default=0,
                        help="exit 1 when fewer jobs were served from "
                             "the cache (CI smoke assertion)")
@@ -267,6 +283,8 @@ def main(argv=None) -> int:
             parser.error("replay needs a trace file path")
         return cmd_replay(args)
     if args.target == "campaign":
+        if args.drivers < 1:
+            parser.error("--drivers must be >= 1")
         args.schemes = tuple(s for s in args.schemes.split(",") if s)
         args.clusters = tuple(int(c) for c in args.clusters.split(","))
         args.deltas = tuple(float(d) for d in args.deltas.split(",") if d)

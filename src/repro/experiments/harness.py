@@ -126,6 +126,7 @@ def run_configuration(
     delta: Optional[float] = None,
     warm_start_u=None,
     warm_start_label: Optional[str] = None,
+    resources=None,
 ) -> RunResult:
     """Run one (n, α, clusters, scheme) configuration end to end.
 
@@ -138,6 +139,15 @@ def run_configuration(
     (None = the problem's Jacobi step), and an optional full-iterate
     warm start (``warm_start_u`` must carry the solve's dtype;
     ``warm_start_label`` names its source in the report provenance).
+
+    ``resources`` is the explicit
+    :class:`~repro.resources.ResourceContext` the solve's pooled
+    resources (sweep workspaces, shared runners, problem instances)
+    resolve against — ``None`` means the process default, which is
+    bit-identical to the historical behaviour.  It is threaded through
+    the deployment (``P2PDC`` → executors → ``TaskContext``), never
+    through ``params``: params are modeled wire payload, and adding a
+    key would change every SUBTASK's simulated dispatch cost.
     """
     scheme = Scheme.parse(scheme)
     spec = NICTA_SPEC if n_paper is None or n >= n_paper else scaled_spec(n, n_paper)
@@ -151,8 +161,9 @@ def run_configuration(
         seed=seed,
     )
     deployment = desc.materialize()
-    env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml)
-    env.register_everywhere(ObstacleApplication())
+    env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml,
+                resources=resources)
+    env.register_everywhere(ObstacleApplication(resources=resources))
     params = {"n": n, "tol": tol, "problem": problem}
     # Canonical params: a default value never enters the dict, so e.g.
     # dtype="float64" and dtype=None build byte-identical SUBTASK

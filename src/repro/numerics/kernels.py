@@ -76,6 +76,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..resources import default_context, resolve_context
 from .obstacle import ObstacleProblem, membrane_problem
 from .tolerances import check_dtype, resolve_dtype
 
@@ -106,11 +107,7 @@ _SLAB_ENV = "REPRO_SLAB_BYTES"
 #: where larger slabs mean fewer slab-boundary passes).
 _SLAB_CANDIDATES = (1 << 20, 1 << 21)
 
-#: Cached auto-tuning verdict for this process (None = not yet tuned).
-_tuned_slab_bytes: Optional[int] = None
-
-
-def _slab_target_bytes() -> int:
+def _slab_target_bytes(resources=None) -> int:
     """The slab working-set target, honoring ``REPRO_SLAB_BYTES``.
 
     The override must parse as a positive integer (plain, or 0x/0o/0b
@@ -119,11 +116,11 @@ def _slab_target_bytes() -> int:
     and long-running processes can adjust it without reimporting.  When
     the override is *not* set, the first construction triggers a one-off
     measurement of the candidate targets (:func:`autotune_slab_bytes`)
-    and the winner is used for the rest of the process.
+    and the winner is used for the rest of ``resources``' lifetime.
     """
     raw = os.environ.get(_SLAB_ENV)
     if raw is None or raw.strip() == "":
-        return autotune_slab_bytes()
+        return autotune_slab_bytes(resources)
     try:
         value = int(raw, 0)
     except ValueError:
@@ -135,47 +132,55 @@ def _slab_target_bytes() -> int:
     return value
 
 
-def autotune_slab_bytes() -> int:
-    """The process-wide slab target: measured once, then cached.
+def autotune_slab_bytes(resources=None) -> int:
+    """The slab target for ``resources``: measured once, then cached.
 
     When ``REPRO_SLAB_BYTES`` is set its value seeds the choice and the
     measurement is skipped entirely.  Otherwise each candidate in
     ``_SLAB_CANDIDATES`` is timed on a small synthetic sweep (best of a
     few runs, so one scheduler hiccup cannot crown the wrong winner) and
-    the fastest wins.  The verdict only ever affects *performance*: slab
-    partitioning is bit-transparent to the sweep results, so tuning can
-    never change an iterate.  Worker processes never re-measure: the
-    pool creator resolves the verdict first and ships it in the spawn
-    arguments (:func:`seed_slab_autotune`).
+    the fastest wins.  The verdict lives on the resolved
+    :class:`~repro.resources.ResourceContext`; a fresh context inherits
+    the default context's verdict when one exists (the measurement is a
+    property of the hardware, not of any context) but a context that
+    measures for itself never writes the default — campaign execution
+    stays out of the module-global state.  The verdict only ever affects
+    *performance*: slab partitioning is bit-transparent to the sweep
+    results, so tuning can never change an iterate.  Worker processes
+    never re-measure: the pool creator resolves the verdict first and
+    ships it in the spawn arguments (:func:`seed_slab_autotune`).
     """
-    global _tuned_slab_bytes
     raw = os.environ.get(_SLAB_ENV)
     if raw is not None and raw.strip() != "":
-        return _slab_target_bytes()
-    if _tuned_slab_bytes is not None:
-        return _tuned_slab_bytes
-    _tuned_slab_bytes = _measure_slab_candidates()
-    return _tuned_slab_bytes
+        return _slab_target_bytes(resources)
+    ctx = resolve_context(resources)
+    if ctx.slab_bytes is not None:
+        return ctx.slab_bytes
+    default = default_context()
+    if ctx is not default and default.slab_bytes is not None:
+        ctx.slab_bytes = default.slab_bytes
+        return ctx.slab_bytes
+    ctx.slab_bytes = _measure_slab_candidates()
+    return ctx.slab_bytes
 
 
-def clear_slab_autotune() -> None:
-    """Forget the cached auto-tuning verdict (test isolation hook)."""
-    global _tuned_slab_bytes
-    _tuned_slab_bytes = None
+def clear_slab_autotune(resources=None) -> None:
+    """Forget ``resources``' cached auto-tuning verdict (test isolation
+    hook; other contexts keep theirs)."""
+    resolve_context(resources).slab_bytes = None
 
 
-def seed_slab_autotune(value: int) -> None:
-    """Install a known tuning verdict without measuring.
+def seed_slab_autotune(value: int, resources=None) -> None:
+    """Install a known tuning verdict on ``resources`` without measuring.
 
     Worker processes call this with the creator's verdict (shipped in
     the spawn arguments) so no worker ever re-measures — regardless of
     multiprocessing start method; under ``spawn``/``forkserver`` the
     module state is *not* inherited, only fork gets it for free.
     """
-    global _tuned_slab_bytes
     if value <= 0:
         raise ValueError(f"slab target must be positive, got {value}")
-    _tuned_slab_bytes = int(value)
+    resolve_context(resources).slab_bytes = int(value)
 
 
 def _measure_slab_candidates(n: int = 48, repeats: int = 3) -> int:
@@ -209,12 +214,12 @@ def _measure_slab_candidates(n: int = 48, repeats: int = 3) -> int:
 
 
 def _default_slab(n: int, n_planes: int, itemsize: int = 8,
-                  target: Optional[int] = None) -> int:
+                  target: Optional[int] = None, resources=None) -> int:
     """Planes per slab: the whole block when it is small enough to stay
     cache-resident, otherwise a few planes.  ``itemsize`` is the buffer
     dtype's width — float32 fits twice the planes per slab."""
     if target is None:
-        target = _slab_target_bytes()
+        target = _slab_target_bytes(resources)
     plane_bytes = itemsize * n * n
     if n_planes * plane_bytes * 3 <= 2 * target:
         return n_planes
@@ -243,7 +248,7 @@ class SweepWorkspace:
     def __init__(self, problem: ObstacleProblem, delta: float,
                  lo: int = 0, hi: Optional[int] = None,
                  slab: Optional[int] = None,
-                 dtype=None):
+                 dtype=None, resources=None):
         n = problem.grid.n
         hi = n if hi is None else hi
         if not 0 <= lo < hi <= n:
@@ -259,7 +264,7 @@ class SweepWorkspace:
         self._bake(problem, delta)
 
         self.slab = slab if slab is not None else \
-            _default_slab(n, m, self.dtype.itemsize)
+            _default_slab(n, m, self.dtype.itemsize, resources=resources)
         if self.slab < 1:
             raise ValueError("slab must be >= 1")
         # Slab scratch (neighbour sums, then |new − old|).  The GS
@@ -532,41 +537,57 @@ def block_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
 #
 # A sweep campaign runs dozens of near-identical solves; re-allocating
 # every workspace's slab scratch + staging buffer per solve is pure
-# setup cost.  The campaign engine (repro.campaign) installs a pool
-# here; solver-layer callers go through checkout/checkin and never know
-# whether a workspace is fresh or recycled.  The pool duck-type is
-# ``checkout(problem, delta, lo, hi, dtype) -> SweepWorkspace`` and
-# ``checkin(ws)``; with no pool installed both hooks degrade to plain
-# construction / no-op.  Kept here (the lowest layer) so the solver
-# never imports the campaign package — no upward dependency.
+# setup cost.  The campaign engine (repro.campaign) installs a pool on
+# its ResourceContext; solver-layer callers go through checkout/checkin
+# and never know whether a workspace is fresh or recycled.  The pool
+# duck-type is ``checkout(problem, delta, lo, hi, dtype) ->
+# SweepWorkspace`` and ``checkin(ws)``; with no pool installed both
+# hooks degrade to plain construction / no-op.  Kept here (the lowest
+# layer) so the solver never imports the campaign package — no upward
+# dependency.
 
-_workspace_pool = None
 
-
-def set_workspace_pool(pool):
-    """Install ``pool`` as the process-wide workspace provider; returns
-    the previously installed pool (restore it when done — the campaign
-    engine brackets its run with exactly that save/restore)."""
-    global _workspace_pool
-    previous = _workspace_pool
-    _workspace_pool = pool
+def set_workspace_pool(pool, resources=None):
+    """Install ``pool`` as the workspace provider on ``resources``
+    (the default context when ``None``); returns the previously
+    installed pool (restore it when done)."""
+    ctx = resolve_context(resources)
+    previous = ctx.workspace_pool
+    ctx.workspace_pool = pool
     return previous
 
 
 def checkout_workspace(problem: ObstacleProblem, delta: float,
                        lo: int = 0, hi: Optional[int] = None,
-                       dtype=None) -> SweepWorkspace:
+                       dtype=None, resources=None) -> SweepWorkspace:
     """A workspace for ``(problem, delta, [lo, hi), dtype)`` — recycled
-    from the installed pool when one is available, freshly built
-    otherwise.  Pair with :func:`checkin_workspace`."""
-    if _workspace_pool is not None:
-        return _workspace_pool.checkout(problem, delta, lo=lo, hi=hi,
-                                        dtype=dtype)
-    return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype)
+    from ``resources``' pool when one is installed, freshly built
+    otherwise.  Pair with :func:`checkin_workspace` on the same
+    context."""
+    ctx = resolve_context(resources)
+    if ctx.workspace_pool is not None:
+        return ctx.workspace_pool.checkout(problem, delta, lo=lo, hi=hi,
+                                           dtype=dtype, resources=ctx)
+    return SweepWorkspace(problem, delta, lo=lo, hi=hi, dtype=dtype,
+                          resources=ctx)
 
 
-def checkin_workspace(ws: SweepWorkspace) -> None:
-    """Return a checked-out workspace; a no-op when no pool is
-    installed (the workspace is garbage-collected as before)."""
-    if _workspace_pool is not None:
-        _workspace_pool.checkin(ws)
+def checkin_workspace(ws: SweepWorkspace, resources=None) -> None:
+    """Return a checked-out workspace; a no-op when ``resources`` has
+    no pool installed (the workspace is garbage-collected as before)."""
+    ctx = resolve_context(resources)
+    if ctx.workspace_pool is not None:
+        ctx.workspace_pool.checkin(ws)
+
+
+def __getattr__(name: str):
+    # PEP 562 read aliases for what used to be module globals, kept so
+    # existing introspection (tests asserting the process-wide hook is
+    # uninstalled, or peeking at the tuning verdict) stays valid: they
+    # now reflect the default context's slots.
+    if name == "_workspace_pool":
+        return default_context().workspace_pool
+    if name == "_tuned_slab_bytes":
+        return default_context().slab_bytes
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

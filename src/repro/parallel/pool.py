@@ -127,7 +127,7 @@ class ShardPool:
 
     def __init__(self, arena: SharedPlaneArena, problem_kind: str,
                  delta: float, n_workers: Optional[int] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None, resources=None):
         # First thing, so close() — and the __del__ safety net — work on
         # a pool that fails anywhere in construction.
         self._closed = False
@@ -159,11 +159,13 @@ class ShardPool:
             for shard in group:
                 self._owner[shard] = w
         # Resolve the slab-tuning verdict once, here, before any worker
-        # exists: the creator pays the (one-off, ~10 ms) measurement and
-        # every worker is seeded with the result.
+        # exists: the creator pays the (one-off, ~10 ms) measurement —
+        # against its own resource context — and every worker is seeded
+        # with the result (a worker process only ever has its own
+        # default context; the verdict is hardware-scoped anyway).
         from ..numerics.kernels import autotune_slab_bytes
 
-        slab_bytes = autotune_slab_bytes()
+        slab_bytes = autotune_slab_bytes(resources)
         for w, group in enumerate(groups):
             parent, child = self._ctx.Pipe()
             proc = self._ctx.Process(

@@ -27,12 +27,12 @@ the shared memory.
 
 from __future__ import annotations
 
-import threading
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..numerics.tolerances import check_dtype, resolve_dtype
+from ..resources import default_context, resolve_context
 from .arena import SharedPlaneArena
 from .pool import ShardPool
 
@@ -54,7 +54,7 @@ class ParallelBlockRunner:
                  n_workers: Optional[int] = None,
                  order: str = "gauss_seidel",
                  start_method: Optional[str] = None,
-                 dtype=None):
+                 dtype=None, resources=None):
         from ..numerics.blocks import partition_planes
         from ..solvers.distributed_richardson import get_problem
 
@@ -62,7 +62,8 @@ class ParallelBlockRunner:
             if n_shards is None:
                 raise ValueError("pass either ranges or n_shards")
             ranges = [(r.start, r.stop) for r in partition_planes(n, n_shards)]
-        self.problem = get_problem(problem_kind, n)
+        self.resources = resources
+        self.problem = get_problem(problem_kind, n, resources=resources)
         self.problem_kind = problem_kind
         self.n = n
         self.dtype = resolve_dtype(dtype)
@@ -90,6 +91,7 @@ class ParallelBlockRunner:
             self.pool = ShardPool(
                 self.arena, problem_kind, self.delta,
                 n_workers=n_workers, start_method=start_method,
+                resources=resources,
             )
         except BaseException:
             self.arena.close()
@@ -346,11 +348,11 @@ class ParallelBlockRunner:
 # Every simulated peer of one distributed solve lives in the same driver
 # process; they share one runner (one arena, one pool) and each drives
 # its own shard.  Reference counting ties the pool's lifetime to the
-# solve: the first peer creates, the last releases.
-
-_shared_lock = threading.Lock()
-_shared: dict[tuple, list] = {}  # key -> [runner, refcount]
-_runner_keys: dict[int, tuple] = {}
+# solve: the first peer creates, the last releases.  The registry lives
+# on a ResourceContext (one per campaign / driver process; the default
+# context for plain solves), so two contexts never hand each other
+# runners — that isolation is what lets independent campaign branches
+# run in separate drivers.
 
 
 def acquire_shared_runner(problem_kind: str, n: int,
@@ -358,52 +360,58 @@ def acquire_shared_runner(problem_kind: str, n: int,
                           delta: float,
                           n_workers: Optional[int] = None,
                           start_method: Optional[str] = None,
-                          dtype=None,
+                          dtype=None, resources=None,
                           ) -> ParallelBlockRunner:
     # dtype is part of the key (by canonical name): a float32 solve must
     # never be handed a float64 arena, and vice versa.
+    ctx = resolve_context(resources)
     key = (problem_kind, n, tuple(tuple(r) for r in ranges), float(delta),
            n_workers, start_method, resolve_dtype(dtype).name)
-    with _shared_lock:
-        entry = _shared.get(key)
+    with ctx.runner_lock:
+        entry = ctx.runners.get(key)
         if entry is None:
             runner = ParallelBlockRunner(
                 problem_kind, n, ranges=ranges, delta=delta,
                 n_workers=n_workers, start_method=start_method,
-                dtype=dtype,
+                dtype=dtype, resources=resources,
             )
-            entry = _shared[key] = [runner, 0]
-            _runner_keys[id(runner)] = key
+            entry = ctx.runners[key] = [runner, 0]
+            ctx.runner_keys[id(runner)] = key
         entry[1] += 1
         return entry[0]
 
 
-def release_shared_runner(runner: ParallelBlockRunner) -> None:
+def release_shared_runner(runner: ParallelBlockRunner,
+                          resources=None) -> None:
     """Drop one reference; the last reference closes pool + arena.
 
     Releasing a runner that is not registered — never acquired through
-    :func:`acquire_shared_runner`, or already fully released — raises
-    instead of quietly closing: with campaign keep-alive a double
-    release would otherwise shut a pool down underneath its remaining
-    holders (and the next acquire would hand out a corpse).
+    :func:`acquire_shared_runner` on the same context, or already fully
+    released — raises instead of quietly closing: with campaign
+    keep-alive a double release would otherwise shut a pool down
+    underneath its remaining holders (and the next acquire would hand
+    out a corpse).
     """
-    with _shared_lock:
-        key = _runner_keys.get(id(runner))
+    ctx = resolve_context(resources)
+    with ctx.runner_lock:
+        key = ctx.runner_keys.get(id(runner))
         if key is None:
             raise RuntimeError(
-                "runner is not in the shared registry — it was never "
-                "acquired via acquire_shared_runner, or this is a double "
-                "release after the last reference already closed it"
+                "runner is not in the shared registry of this context — it "
+                "was never acquired via acquire_shared_runner here, or this "
+                "is a double release after the last reference already "
+                "closed it"
             )
-        entry = _shared[key]
+        entry = ctx.runners[key]
         entry[1] -= 1
         if entry[1] <= 0:
-            del _shared[key]
-            del _runner_keys[id(runner)]
+            del ctx.runners[key]
+            del ctx.runner_keys[id(runner)]
             runner.close()
 
 
-def rebind_shared_runner(runner: ParallelBlockRunner, delta: float) -> None:
+def rebind_shared_runner(runner: ParallelBlockRunner, delta: float,
+                         resources=None) -> None:
     """Re-key a held shared runner to a new ``delta`` (campaign path).
 
     The campaign engine holds exactly one keep-alive reference between
@@ -415,14 +423,15 @@ def rebind_shared_runner(runner: ParallelBlockRunner, delta: float) -> None:
     (a live solve would observe its delta changing mid-flight), and on
     key collisions (a distinct runner already serves the target key).
     """
-    with _shared_lock:
-        key = _runner_keys.get(id(runner))
+    ctx = resolve_context(resources)
+    with ctx.runner_lock:
+        key = ctx.runner_keys.get(id(runner))
         if key is None:
             raise RuntimeError(
-                "runner is not in the shared registry; only runners held "
-                "via acquire_shared_runner can be rebound"
+                "runner is not in the shared registry of this context; "
+                "only runners held via acquire_shared_runner can be rebound"
             )
-        entry = _shared[key]
+        entry = ctx.runners[key]
         if entry[1] != 1:
             raise RuntimeError(
                 f"runner has {entry[1]} references; rebinding needs "
@@ -431,12 +440,26 @@ def rebind_shared_runner(runner: ParallelBlockRunner, delta: float) -> None:
         new_key = key[:3] + (float(delta),) + key[4:]
         if new_key == key:
             return
-        if new_key in _shared:
+        if new_key in ctx.runners:
             raise RuntimeError(
                 "another shared runner already serves the target "
                 "configuration; release one of them first"
             )
         runner.rebind_delta(delta)
-        del _shared[key]
-        _shared[new_key] = entry
-        _runner_keys[id(runner)] = new_key
+        del ctx.runners[key]
+        ctx.runners[new_key] = entry
+        ctx.runner_keys[id(runner)] = new_key
+
+
+def __getattr__(name: str):
+    # PEP 562 read aliases of the default context's registry, so
+    # existing introspection (tests asserting all leases are released)
+    # keeps working after the de-globalization.
+    if name == "_shared":
+        return default_context().runners
+    if name == "_runner_keys":
+        return default_context().runner_keys
+    if name == "_shared_lock":
+        return default_context().runner_lock
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,93 @@
+"""Explicit resource contexts for the solver/runner/campaign stack.
+
+Everything that used to be a process-global singleton — the sweep
+workspace pool hook (:mod:`repro.numerics.kernels`), the slab-autotune
+verdict, the per-kind problem cache
+(:mod:`repro.solvers.distributed_richardson`), and the shared-runner
+registry (:mod:`repro.parallel.runner`) — now lives in an instantiable
+:class:`ResourceContext`.  One context per owner: a plain solve uses the
+process-wide default context (so every pre-existing call site behaves
+exactly as before), a :class:`~repro.campaign.engine.Campaign` owns a
+private context, and each campaign driver process builds its own at
+startup.
+
+Two rules keep this honest:
+
+- **Contexts never share mutable resource state.**  A workspace pool, a
+  runner lease, or a cached problem acquired through one context is
+  invisible to every other context, so two campaigns can run
+  concurrently in one process without stepping on each other.
+- **The context rides the call, never the params.**  Simulated task
+  params are wire payload (their size feeds the network model), so the
+  context is threaded out-of-band: ``run_configuration(resources=...)``
+  → ``P2PDC`` → ``TaskExecutor`` → ``TaskContext.resources`` → the
+  block solver.
+
+Passing ``resources=None`` anywhere means "use the default context" —
+the thin module-level wrappers in the kernels/runner/solver modules all
+resolve through :func:`resolve_context`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["ResourceContext", "default_context", "resolve_context"]
+
+
+class ResourceContext:
+    """One owner's worth of pooled solver resources.
+
+    Slots (all lazily populated by the layers that use them):
+
+    ``workspace_pool``
+        The duck-typed sweep-workspace pool consulted by
+        :func:`repro.numerics.kernels.checkout_workspace`, or ``None``
+        for construct-on-demand.
+    ``slab_bytes``
+        The cached slab-autotune verdict
+        (:func:`repro.numerics.kernels.autotune_slab_bytes`), or
+        ``None`` for not-yet-measured.
+    ``problem_cache``
+        Bounded ``(kind, n) -> ObstacleProblem`` LRU used by
+        :func:`repro.solvers.distributed_richardson.get_problem`.
+    ``runner_lock`` / ``runners`` / ``runner_keys``
+        The refcounted shared-runner registry behind
+        :func:`repro.parallel.runner.acquire_shared_runner` — key →
+        ``[runner, refcount]`` plus the reverse ``id(runner) -> key``
+        map.
+    """
+
+    def __init__(self, name: str = "context") -> None:
+        self.name = str(name)
+        self.workspace_pool = None
+        self.slab_bytes: Optional[int] = None
+        self.problem_cache: dict = {}
+        self.runner_lock = threading.Lock()
+        self.runners: dict = {}
+        self.runner_keys: dict = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResourceContext({self.name!r}, "
+                f"pool={self.workspace_pool is not None}, "
+                f"slab={self.slab_bytes}, "
+                f"problems={len(self.problem_cache)}, "
+                f"runners={len(self.runners)})")
+
+
+#: The process-wide context every ``resources=None`` call site resolves
+#: to.  Pre-context code (and worker processes that never build their
+#: own) runs entirely against this one, bit-identically to the old
+#: module-global behaviour.
+_DEFAULT = ResourceContext(name="default")
+
+
+def default_context() -> ResourceContext:
+    """The process-wide default :class:`ResourceContext`."""
+    return _DEFAULT
+
+
+def resolve_context(resources: Optional[ResourceContext]) -> ResourceContext:
+    """``resources`` itself, or the default context when ``None``."""
+    return resources if resources is not None else _DEFAULT

@@ -41,6 +41,7 @@ from ..numerics.obstacle import (
 from ..numerics.tolerances import min_termination_tol, resolve_dtype
 from ..p2psap.context import CommMode, Scheme
 from ..parallel.trace import active_recorder
+from ..resources import default_context, resolve_context
 from .halo import BlockState
 from .termination import Action, ExactCoordinator, StreakCoordinator
 
@@ -61,15 +62,17 @@ PROBLEM_FACTORIES: dict[str, Callable[[int], ObstacleProblem]] = {
 # a memory optimization of the simulation, not of the algorithm — each
 # peer still owns and updates only its block of the iterate.  The cache
 # is a bounded LRU (large instances are ~n³ floats each; an unbounded
-# module global would grow for the life of the process) and can be
-# cleared explicitly so test runs cannot leak state into each other.
+# one would grow for the life of the process), lives on the resolved
+# ResourceContext (per-campaign / per-driver; the default context for
+# plain solves), and can be cleared explicitly so test runs cannot leak
+# state into each other.
 _PROBLEM_CACHE_MAX = 16
-_problem_cache: dict[tuple[str, int], ObstacleProblem] = {}
 
 
-def get_problem(kind: str, n: int) -> ObstacleProblem:
+def get_problem(kind: str, n: int, resources=None) -> ObstacleProblem:
+    cache = resolve_context(resources).problem_cache
     key = (kind, n)
-    problem = _problem_cache.get(key)
+    problem = cache.get(key)
     if problem is None:
         try:
             factory = PROBLEM_FACTORIES[kind]
@@ -78,18 +81,28 @@ def get_problem(kind: str, n: int) -> ObstacleProblem:
                 f"unknown problem kind {kind!r}; known: {sorted(PROBLEM_FACTORIES)}"
             ) from None
         problem = factory(n)
-        while len(_problem_cache) >= _PROBLEM_CACHE_MAX:
-            _problem_cache.pop(next(iter(_problem_cache)))
+        while len(cache) >= _PROBLEM_CACHE_MAX:
+            cache.pop(next(iter(cache)))
     else:
         # Re-insert to record recency (dicts preserve insertion order).
-        del _problem_cache[key]
-    _problem_cache[key] = problem
+        del cache[key]
+    cache[key] = problem
     return problem
 
 
-def clear_problem_cache() -> None:
-    """Drop every cached problem instance (test isolation hook)."""
-    _problem_cache.clear()
+def clear_problem_cache(resources=None) -> None:
+    """Drop ``resources``' cached problem instances (test isolation
+    hook; other contexts keep theirs)."""
+    resolve_context(resources).problem_cache.clear()
+
+
+def __getattr__(name: str):
+    # PEP 562 read alias: `_problem_cache` used to be a module global;
+    # it now names the default context's cache.
+    if name == "_problem_cache":
+        return default_context().problem_cache
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def assignment_from_params(params, n: int, n_peers: int) -> BlockAssignment:
@@ -188,6 +201,14 @@ class ObstacleApplication(Application):
 
     name = "obstacle"
 
+    def __init__(self, resources=None):
+        # The explicit ResourceContext every solve this application
+        # hosts should run against (None = the process default).  Rides
+        # the application/executor objects, never the task params —
+        # params are simulated wire payload and their size feeds the
+        # network model.
+        self.resources = resources
+
     def problem_definition(self, params) -> ProblemDefinition:
         n = int(params["n"])
         n_peers = int(params.get("n_peers", 1))
@@ -225,14 +246,16 @@ class ObstacleApplication(Application):
         u = np.empty((n, n, n), dtype=reports[0].block.dtype)
         for rep in reports:
             u[rep.lo:rep.hi] = rep.block
-        return assemble_report(reports, u)
+        return assemble_report(reports, u, resources=self.resources)
 
 
-def assemble_report(reports: list[BlockReport], u: np.ndarray) -> DistributedSolveReport:
+def assemble_report(reports: list[BlockReport], u: np.ndarray,
+                    resources=None) -> DistributedSolveReport:
     """Build the aggregate report (separated for testability)."""
     n = u.shape[0]
     meta = reports[0]
-    problem = get_problem(meta_extra(meta, "problem"), n)
+    problem = get_problem(meta_extra(meta, "problem"), n,
+                          resources=resources)
     scheme = Scheme.parse(meta_extra(meta, "scheme"))
     if scheme is Scheme.SYNCHRONOUS:
         converged = [r.converged_at for r in reports if r.converged_at is not None]
@@ -295,7 +318,12 @@ class _BlockSolver:
         self._send_interval_override = params.get("send_min_interval")
         self._send_interval: dict[int, float] = {}
         self._last_send: dict[int, float] = {}
-        self.problem = get_problem(self.kind, self.n)
+        # The explicit resource context this solve runs against — it
+        # arrives out-of-band via the executor (TaskContext.resources),
+        # never through the params (params are modeled wire payload).
+        self.resources = ctx.resources
+        self.problem = get_problem(self.kind, self.n,
+                                   resources=self.resources)
         sub = ctx.subtask
         delta = float(params.get("delta", self.problem.jacobi_delta()))
         # Sweep executor: "inline" (default) runs the fused kernels in
@@ -347,7 +375,7 @@ class _BlockSolver:
                 ranges=ranges, delta=delta,
                 n_workers=int(workers) if workers is not None else None,
                 start_method=params.get("executor_start_method"),
-                dtype=self.dtype,
+                dtype=self.dtype, resources=self.resources,
             )
             shard = ctx.rank
             # Name the shard's owner so orphaned-sweep errors at
@@ -361,6 +389,7 @@ class _BlockSolver:
                 delta=delta, dtype=self.dtype,
                 local_sweep=params.get("local_sweep", "gauss_seidel"),
                 executor=self.executor, runner=self._runner, shard=shard,
+                resources=self.resources,
             )
             # Crash recovery: the executor re-dispatches an interrupted
             # sub-task with the freshest checkpoint spliced in — block,
@@ -821,7 +850,7 @@ class _BlockSolver:
         if self._runner is not None:
             from ..parallel import release_shared_runner
 
-            release_shared_runner(self._runner)
+            release_shared_runner(self._runner, resources=self.resources)
             self._runner = None
 
     def _report(self) -> BlockReport:

@@ -109,6 +109,9 @@ class BlockState:
     runner: Optional[object] = None
     #: Shard index within the runner (derived from [lo, hi) if omitted).
     shard: Optional[int] = None
+    #: The :class:`~repro.resources.ResourceContext` workspace checkout
+    #: and checkin go through (None = the process default context).
+    resources: Optional[object] = None
 
     def __post_init__(self) -> None:
         n = self.problem.grid.n
@@ -160,7 +163,8 @@ class BlockState:
         # installed.  Paired with release() below.
         self._workspace = checkout_workspace(self.problem, self.delta,
                                              lo=self.lo, hi=self.hi,
-                                             dtype=self.dtype)
+                                             dtype=self.dtype,
+                                             resources=self.resources)
         # Rotation buffer: each sweep writes the new iterate here, then
         # the two block arrays swap roles (no per-plane copies).
         self._next_block = self._workspace.rotation_buffer()
@@ -305,7 +309,7 @@ class BlockState:
         ws = getattr(self, "_workspace", None)
         if ws is not None:
             self._workspace = None
-            checkin_workspace(ws)
+            checkin_workspace(ws, resources=self.resources)
 
     def export_block(self) -> np.ndarray:
         """The block as an array safe to keep after the solve: the

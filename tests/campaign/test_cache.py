@@ -180,6 +180,52 @@ class TestDiskLRUEviction:
             ResultCache(tmp_path, max_disk_bytes=0)
 
 
+class TestStats:
+    def test_counters_and_hit_rate(self, solved):
+        cache = ResultCache()
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
+                                 "evictions": 0, "hit_rate": 0.0}
+        key = _key()
+        cache.load(key)          # miss
+        cache.store(key, solved)
+        cache.load(key)          # hit
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_disk_eviction_counted(self, tmp_path, solved):
+        probe = ResultCache(tmp_path / "probe")
+        probe.store("probe", solved)
+        size = probe.disk_bytes()
+        cache = ResultCache(tmp_path / "c",
+                            max_disk_bytes=size + size // 2)
+        cache.store("a", solved)
+        cache.store("b", solved)
+        assert cache.stats()["evictions"] == 1
+
+
+def _process_hammer(root, budget, pid, errq):
+    """One OS process storing + loading its own keys against a shared
+    cache directory under budget pressure (module-level: spawn-safe)."""
+    try:
+        result = run_configuration(n=8, n_peers=2, n_clusters=1,
+                                   scheme="synchronous", tol=1e-3)
+        cache = ResultCache(root, max_disk_bytes=budget)
+        for i in range(5):
+            key = cache_key(CampaignJob(
+                n=8, n_peers=2, tol=1e-3,
+                seed=1 + pid * 100 + i,
+            ).signature())
+            cache.store(key, result)
+            cache.load(key)
+    except Exception:  # pragma: no cover - failure path
+        import traceback
+
+        errq.put(traceback.format_exc())
+
+
 class TestConcurrentWriters:
     def test_shared_directory_under_budget_pressure(self, solved, tmp_path):
         """Several drivers hammering one rooted cache: the flock'd
@@ -224,6 +270,49 @@ class TestConcurrentWriters:
         assert reader.disk_bytes() <= budget
         survivors = [p.stem for p in tmp_path.glob("*.json")]
         assert survivors  # the budget never thrashes to empty
+        for key in survivors:
+            assert (tmp_path / f"{key}.npy").exists()  # no torn pairs
+            loaded = reader.load(key)
+            assert loaded is not None
+            assert loaded.residual == solved.residual
+
+    def test_true_multiprocess_sharing(self, solved, tmp_path):
+        """Two *OS processes* (not threads — each with its own GIL,
+        flock holder, and directory view) storing and evicting against
+        one cache directory: the budget holds, no entry pair is torn,
+        every survivor loads.  This is exactly the sharing mode of
+        ``Campaign(drivers=N)`` workers over a rooted cache."""
+        import multiprocessing
+
+        from repro.parallel.pool import _start_method
+
+        probe = ResultCache(tmp_path)
+        probe.store(_key(), solved)
+        entry_bytes = probe.disk_bytes()
+        probe.clear()
+        budget = 3 * entry_bytes + entry_bytes // 2
+
+        ctx = multiprocessing.get_context(_start_method(None))
+        errq = ctx.Queue()
+        procs = [
+            ctx.Process(target=_process_hammer,
+                        args=(str(tmp_path), budget, pid, errq))
+            for pid in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        errors = []
+        while not errq.empty():
+            errors.append(errq.get())
+        assert errors == []
+        assert [p.exitcode for p in procs] == [0, 0]
+
+        reader = ResultCache(tmp_path, max_disk_bytes=budget)
+        assert reader.disk_bytes() <= budget
+        survivors = [p.stem for p in tmp_path.glob("*.json")]
+        assert survivors
         for key in survivors:
             assert (tmp_path / f"{key}.npy").exists()  # no torn pairs
             loaded = reader.load(key)

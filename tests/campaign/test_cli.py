@@ -32,6 +32,33 @@ def test_min_cache_hits_gate_fails_cold(tmp_path, capsys):
     assert "FAIL" in capsys.readouterr().out
 
 
+def test_multi_driver_matrix_and_cross_driver_cache(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    drivers = ["--drivers", "2"]
+    assert main(ARGS + cache + drivers) == 0
+    # Fresh invocation, fresh driver workers: served across drivers
+    # from the shared disk cache.
+    assert main(ARGS + cache + drivers + ["--min-cache-hits", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cache hits: 4" in out
+    assert "solved: 0" in out
+
+
+def test_rejects_nonpositive_drivers(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(ARGS + ["--drivers", "0"])
+    assert "--drivers must be >= 1" in capsys.readouterr().err
+
+
+def test_cache_stats_reported_sequentially(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(ARGS + cache) == 0
+    out = capsys.readouterr().out
+    assert "result cache: 0 hits, 4 misses, 4 stores" in out
+
+
 def test_delta_sweep_axis(capsys):
     from repro.solvers.distributed_richardson import get_problem
 

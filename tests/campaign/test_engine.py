@@ -123,11 +123,15 @@ class TestRunnerKeepAlive:
             (runner,) = campaign._leases.values()
             # The lease was rebound to the last delta, not re-created.
             assert runner.delta == jobs[-1].delta
-            # Registry holds exactly the campaign's own reference.
-            assert len(runner_mod._shared) == 1
+            # The campaign's *own* context registry holds exactly its
+            # reference — and the process-default registry stays
+            # untouched (campaign execution never writes globals).
+            assert len(campaign.resources.runners) == 1
+            assert runner_mod._shared == {}
             campaign.run()  # reruns reuse the same live runner
             assert campaign._leases == {next(iter(campaign._leases)):
                                         runner}
+        assert campaign.resources.runners == {}
         assert runner_mod._shared == {}
         with pytest.raises(RuntimeError):
             runner.sweep(0)  # close() really closed it
