@@ -32,7 +32,21 @@ from typing import Optional
 
 from ..parallel.pool import _start_method
 
-__all__ = ["DriverPool", "cache_spec"]
+__all__ = ["DriverBranchError", "DriverPool", "cache_spec"]
+
+
+class DriverBranchError(RuntimeError):
+    """A branch raised inside a driver worker (the worker survives).
+
+    ``ticket`` identifies the failed submission; the message carries
+    the worker-side traceback.  The batch API propagates it as-is; the
+    campaign service catches it to fail one campaign instead of the
+    whole pool.
+    """
+
+    def __init__(self, message: str, ticket: int):
+        super().__init__(message)
+        self.ticket = ticket
 
 
 def cache_spec(cache) -> Optional[dict]:
@@ -68,6 +82,7 @@ def _worker_main(conn, index: int, spec: Optional[dict],
         resources.workspace_pool = WorkspacePool()
     cache = ResultCache(**spec) if spec is not None else None
     leases: dict = {}
+    branches_done = 0
     try:
         conn.send(("ready", index))
         while True:
@@ -80,7 +95,17 @@ def _worker_main(conn, index: int, spec: Optional[dict],
                     tasks, cache=cache, resources=resources,
                     leases=leases, keep_runners=keep_runners,
                 )
-                conn.send(("done", branch_index, records))
+                branches_done += 1
+                # Every completion carries this worker's lifetime
+                # counters: the parent aggregates cache stats across
+                # drivers without an extra protocol round-trip, and a
+                # long-lived service can report utilization while other
+                # branches are still in flight.
+                snapshot = {
+                    "branches": branches_done,
+                    "cache": cache.stats() if cache is not None else None,
+                }
+                conn.send(("done", branch_index, records, snapshot))
             except Exception:  # surface the traceback, don't die silently
                 conn.send(("error", branch_index, traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
@@ -94,7 +119,18 @@ def _worker_main(conn, index: int, spec: Optional[dict],
 
 
 class DriverPool:
-    """N worker processes executing campaign branches concurrently."""
+    """N worker processes executing campaign branches concurrently.
+
+    Two usage levels:
+
+    - :meth:`run_branches` — the batch API the :class:`Campaign` engine
+      uses: hand over a list of branches, block until all are done.
+    - :meth:`submit` / :meth:`wait` — the non-blocking ticket API the
+      campaign service's scheduler uses to interleave branches from
+      *several* campaigns: ``submit`` hands one branch to an idle
+      worker and returns immediately (check :attr:`idle` first), and
+      ``wait`` collects whichever submissions have completed.
+    """
 
     def __init__(self, drivers: int, *, cache_spec: Optional[dict] = None,
                  pool_workspaces: bool = True, keep_runners: bool = True,
@@ -108,6 +144,14 @@ class DriverPool:
         if drivers < 1:
             raise ValueError(f"drivers must be >= 1, got {drivers}")
         self.drivers = drivers
+        self._idle: list[int] = []
+        self._active: dict[int, int] = {}  # worker -> ticket
+        self._next_ticket = 0
+        # Completions/errors drained alongside a raising wait() are
+        # delivered by the *next* wait() instead of being dropped.
+        self._pending: list[tuple[int, list]] = []
+        self._pending_errors: list["DriverBranchError"] = []
+        self._snapshots: list[Optional[dict]] = [None] * drivers
         method = _start_method(start_method)
         self._ctx = multiprocessing.get_context(method)
         for w in range(drivers):
@@ -136,6 +180,7 @@ class DriverPool:
                     raise RuntimeError(
                         f"campaign driver {w} failed to start: {msg!r}"
                     )
+            self._idle = list(range(drivers))
         except BaseException:
             self.close()
             raise
@@ -147,6 +192,109 @@ class DriverPool:
                 "fresh Campaign instead of reusing a closed one"
             )
 
+    # -- non-blocking ticket API -------------------------------------------------
+
+    @property
+    def idle(self) -> int:
+        """Workers currently without a branch in flight."""
+        return len(self._idle)
+
+    @property
+    def busy(self) -> int:
+        """Workers currently executing a branch."""
+        return len(self._active)
+
+    def submit(self, tasks) -> int:
+        """Hand one branch — a list of ``(job, cache_key, signature,
+        warm_from)`` task tuples — to an idle worker; returns a ticket
+        to match against :meth:`wait` results.
+
+        Raises when no worker is idle: admission control is the
+        caller's job (check :attr:`idle` first), not a hidden queue's.
+        """
+        self._check_open()
+        if not self._idle:
+            raise RuntimeError("no idle driver to submit to")
+        w = self._idle.pop(0)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._conns[w].send(("branch", ticket, tasks))
+        self._active[w] = ticket
+        return ticket
+
+    def wait(self, timeout: Optional[float] = None) -> list[tuple[int, list]]:
+        """Collect completed submissions: ``[(ticket, records), ...]``.
+
+        Blocks up to ``timeout`` seconds (None = until at least one
+        completion) and drains every worker that is ready by then; an
+        empty list means the timeout passed with all submissions still
+        in flight.  Worker death and branch errors raise here, naming
+        the driver; a raising drain never *loses* work — completions
+        (and further errors) collected in the same drain are delivered
+        by the next call instead.
+        """
+        self._check_open()
+        if self._pending:
+            completed, self._pending = self._pending, []
+            return completed
+        if self._pending_errors:
+            raise self._pending_errors.pop(0)
+        if not self._active:
+            return []
+        ready = _connection_wait(
+            [self._conns[w] for w in self._active], timeout
+        )
+        completed = []
+        for conn in ready:
+            w = self._conns.index(conn)
+            ticket = self._active.pop(w)
+            try:
+                msg = conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"campaign driver {w} died while executing "
+                    f"branch ticket {ticket}"
+                ) from None
+            if msg[0] == "error":
+                # The worker's execute loop survived; put it back in
+                # rotation before surfacing the branch failure.
+                self._idle.append(w)
+                self._pending_errors.append(DriverBranchError(
+                    f"campaign driver {w} failed on branch ticket "
+                    f"{ticket}:\n{msg[2]}", ticket=ticket,
+                ))
+                continue
+            self._snapshots[w] = msg[3]
+            self._idle.append(w)
+            completed.append((ticket, msg[2]))
+        if self._pending_errors:
+            self._pending.extend(completed)
+            raise self._pending_errors.pop(0)
+        return completed
+
+    def cache_stats(self) -> list[Optional[dict]]:
+        """Latest per-worker cache-counter snapshots (None until a
+        worker has completed its first branch, or when the pool runs
+        cacheless)."""
+        return [
+            None if snap is None else snap.get("cache")
+            for snap in self._snapshots
+        ]
+
+    def utilization(self) -> dict:
+        """Pool occupancy + per-worker branch counts, for /stats."""
+        return {
+            "drivers": self.drivers,
+            "busy": self.busy,
+            "idle": self.idle,
+            "branches_per_driver": [
+                0 if snap is None else snap.get("branches", 0)
+                for snap in self._snapshots
+            ],
+        }
+
+    # -- batch API ---------------------------------------------------------------
+
     def run_branches(self, branches, progress=None) -> list[list]:
         """Execute every branch; returns per-branch record lists in
         *submission* order (whatever order drivers finished in).
@@ -156,36 +304,25 @@ class DriverPool:
         ``progress`` is called per record in completion order.
         """
         self._check_open()
+        if self._active:
+            raise RuntimeError(
+                "run_branches on a pool with ticket submissions in "
+                "flight — drain wait() first"
+            )
         results: list = [None] * len(branches)
+        tickets: dict[int, int] = {}
         pending = list(range(len(branches)))
-        idle = list(range(self.drivers))
-        active: dict[int, int] = {}  # worker -> branch index
-        while pending or active:
-            while pending and idle:
-                w = idle.pop(0)
+        outstanding = 0
+        while pending or outstanding:
+            while pending and self._idle:
                 b = pending.pop(0)
-                self._conns[w].send(("branch", b, branches[b]))
-                active[w] = b
-            ready = _connection_wait([self._conns[w] for w in active])
-            for conn in ready:
-                w = self._conns.index(conn)
-                b = active.pop(w)
-                try:
-                    msg = conn.recv()
-                except EOFError:
-                    raise RuntimeError(
-                        f"campaign driver {w} died while executing "
-                        f"branch {b}"
-                    ) from None
-                if msg[0] == "error":
-                    raise RuntimeError(
-                        f"campaign driver {w} failed on branch {b}:\n"
-                        f"{msg[2]}"
-                    )
-                results[b] = msg[2]
-                idle.append(w)
+                tickets[self.submit(branches[b])] = b
+                outstanding += 1
+            for ticket, records in self.wait():
+                results[tickets.pop(ticket)] = records
+                outstanding -= 1
                 if progress is not None:
-                    for record in msg[2]:
+                    for record in records:
                         progress(record)
         return results
 

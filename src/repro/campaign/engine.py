@@ -59,6 +59,18 @@ makes this safe:
   of a rooted :class:`ResultCache` (content-addressed, atomic-rename
   writes, advisory-flock eviction) is the one cross-driver channel, and
   it is safe precisely because entries are immutable once written.
+
+The campaign service daemon (:mod:`repro.service.daemon`) follows the
+same rules from the other side: its
+:class:`~repro.service.daemon.CampaignService` owns a private
+``ResourceContext(name="service")`` for the branches it serves
+in-process (fully-cached ones), its driver workers each own theirs as
+usual, and the process default is never touched — a daemon is
+embeddable next to unrelated solves (or a second daemon) in one
+interpreter.  The service reuses this module's static planning
+(:func:`resolve_cache_keys` / :func:`tasks_for`) and execution body
+(:func:`_execute_chunk`), which is why daemon-produced records are
+bit-identical to ``Campaign.run``'s.
 """
 
 from __future__ import annotations
@@ -75,7 +87,8 @@ from .cache import ResultCache, cache_key
 from .jobs import CampaignJob, CampaignPlan, plan_jobs
 from .pool import WorkspacePool
 
-__all__ = ["Campaign", "CampaignResult", "ExecutedJob"]
+__all__ = ["Campaign", "CampaignResult", "ExecutedJob",
+           "resolve_cache_keys", "tasks_for"]
 
 
 @dataclasses.dataclass
@@ -145,6 +158,52 @@ class CampaignResult:
         return out
 
 
+# -- static planning helpers --------------------------------------------------------
+#
+# Cache keys and task tuples are pure functions of a plan, shared by
+# the Campaign engine and the campaign-service scheduler (which
+# interleaves branches from *several* plans over one driver pool and
+# needs the keys before anything runs, for in-flight coalescing).
+
+
+def resolve_cache_keys(
+    plan: CampaignPlan,
+) -> tuple[dict[str, str], dict[str, dict]]:
+    """Cache key + signature per unique job, computed statically.
+
+    The cache must key on the warm seed's *content*, not just the
+    predecessor's job identity: the predecessor may itself have
+    been warm-started (or not) depending on how this campaign's
+    sweep was cut, and its solution differs accordingly.  Chaining
+    through the predecessor's cache key makes the edge transitive —
+    a truncated or reordered sweep can never hit an entry produced
+    from a seed it did not compute.  Because the chain needs only
+    the predecessor's *key* (never its result), the whole map is a
+    pure function of the plan — which is what lets branches be
+    dispatched to drivers before anything has run.
+    """
+    ckeys: dict[str, str] = {}
+    signatures: dict[str, dict] = {}
+    for job in plan.order:
+        key = job.key()
+        warm_from = plan.warm_sources.get(key)
+        warm_ckey = ckeys[warm_from] if warm_from is not None else None
+        signature = dict(job.signature(), warm_from=warm_ckey)
+        signatures[key] = signature
+        ckeys[key] = cache_key(signature)
+    return ckeys, signatures
+
+
+def tasks_for(plan: CampaignPlan, jobs, ckeys, signatures) -> list[tuple]:
+    """The ``(job, cache_key, signature, warm_from)`` task tuples of
+    ``jobs`` (any subset of the plan — typically one branch)."""
+    return [
+        (job, ckeys[job.key()], signatures[job.key()],
+         plan.warm_sources.get(job.key()))
+        for job in jobs
+    ]
+
+
 # -- shared execution core ----------------------------------------------------------
 #
 # One function executes jobs everywhere: the sequential path runs the
@@ -160,7 +219,7 @@ def _execute_chunk(tasks, *, cache, resources, leases, keep_runners,
     tuples, warm sources always preceding their dependents — in order
     against ``resources``.  Returns one :class:`ExecutedJob` per task.
     """
-    from ..experiments.harness import run_configuration
+    from ..experiments.harness import run_job
 
     results: dict[str, ExecutedJob] = {}
     records: list[ExecutedJob] = []
@@ -180,15 +239,8 @@ def _execute_chunk(tasks, *, cache, resources, leases, keep_runners,
                     seed, dtype=resolve_dtype(job.dtype)
                 )
                 warm_label = f"campaign:{warm_from}"
-            result = run_configuration(
-                n=job.n, n_peers=job.n_peers,
-                n_clusters=job.n_clusters, scheme=job.scheme,
-                n_paper=job.n_paper, tol=job.tol,
-                problem=job.problem, seed=job.seed,
-                dtype=job.dtype, executor=job.executor,
-                delta=job.delta, warm_start_u=warm_u,
-                warm_start_label=warm_label,
-                extra_params=job.extra_params or None,
+            result = run_job(
+                job, warm_start_u=warm_u, warm_start_label=warm_label,
                 resources=resources,
             )
             if cache is not None:
@@ -323,36 +375,10 @@ class Campaign:
     # -- planning ----------------------------------------------------------------
 
     def _resolve_cache_keys(self) -> tuple[dict[str, str], dict[str, dict]]:
-        """Cache key + signature per unique job, computed statically.
-
-        The cache must key on the warm seed's *content*, not just the
-        predecessor's job identity: the predecessor may itself have
-        been warm-started (or not) depending on how this campaign's
-        sweep was cut, and its solution differs accordingly.  Chaining
-        through the predecessor's cache key makes the edge transitive —
-        a truncated or reordered sweep can never hit an entry produced
-        from a seed it did not compute.  Because the chain needs only
-        the predecessor's *key* (never its result), the whole map is a
-        pure function of the plan — which is what lets branches be
-        dispatched to drivers before anything has run.
-        """
-        ckeys: dict[str, str] = {}
-        signatures: dict[str, dict] = {}
-        for job in self.plan.order:
-            key = job.key()
-            warm_from = self.plan.warm_sources.get(key)
-            warm_ckey = ckeys[warm_from] if warm_from is not None else None
-            signature = dict(job.signature(), warm_from=warm_ckey)
-            signatures[key] = signature
-            ckeys[key] = cache_key(signature)
-        return ckeys, signatures
+        return resolve_cache_keys(self.plan)
 
     def _tasks_for(self, jobs, ckeys, signatures) -> list[tuple]:
-        return [
-            (job, ckeys[job.key()], signatures[job.key()],
-             self.plan.warm_sources.get(job.key()))
-            for job in jobs
-        ]
+        return tasks_for(self.plan, jobs, ckeys, signatures)
 
     # -- execution ---------------------------------------------------------------
 
@@ -446,6 +472,32 @@ class Campaign:
         """Keep-alive leases held by the sequential path (driver
         workers hold their own; those are not visible here)."""
         return len(self._leases)
+
+    def cache_stats(self) -> Optional[dict]:
+        """Aggregated result-cache counters, or None without a cache.
+
+        With ``drivers == 1`` this is just the cache's own
+        :meth:`~repro.campaign.cache.ResultCache.stats`.  With driver
+        workers, each worker's cache is a separate instance (rebuilt
+        from the spec) holding its own counters — every branch
+        completion ships the worker's current snapshot back, and this
+        sums the parent's counters with the latest snapshot of every
+        driver, recomputing ``hit_rate`` over the union.  Lookups a
+        worker served from the shared disk directory therefore count
+        here, which is what the CLI prints for ``--drivers N`` runs.
+        """
+        if self.cache is None:
+            return None
+        stats = self.cache.stats()
+        if self._driver_pool is not None:
+            for snapshot in self._driver_pool.cache_stats():
+                if snapshot is None:
+                    continue
+                for counter in ("hits", "misses", "stores", "evictions"):
+                    stats[counter] += snapshot.get(counter, 0)
+        lookups = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = stats["hits"] / lookups if lookups else 0.0
+        return stats
 
     # -- lifecycle ---------------------------------------------------------------
 

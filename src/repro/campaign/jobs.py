@@ -14,6 +14,16 @@ configurations varying only ``(n, α, scheme, clusters)``);
 engine executes — duplicate jobs collapse onto one node, and with warm
 starts enabled each delta-sweep group is chained nearest-neighbour so a
 solve can start from the previous delta's solution.
+
+``CampaignJob`` is also the repo's *single* request type: the harness's
+``run_configuration`` kwargs, the campaign engine's tasks, the CLI
+flags, and the campaign-service HTTP schema all normalize into one and
+execute it through :meth:`CampaignJob.run` (=
+:func:`repro.experiments.harness.run_job`).  For the HTTP wire,
+:meth:`CampaignJob.to_wire` / :meth:`CampaignJob.from_wire` give a
+versioned JSON round-trip whose float fields are encoded exactly
+(``float.hex``), so a job's :meth:`signature` — and therefore its cache
+key — is bit-identical on both sides of the wire.
 """
 
 from __future__ import annotations
@@ -27,13 +37,86 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 from ..numerics.tolerances import resolve_dtype
 from ..p2psap.context import Scheme
 
-__all__ = ["CampaignJob", "CampaignPlan", "expand_matrix", "plan_jobs"]
+__all__ = [
+    "CampaignJob",
+    "CampaignPlan",
+    "JOB_WIRE_VERSION",
+    "WireError",
+    "expand_matrix",
+    "plan_jobs",
+]
 
 #: Tolerance default mirrored from the experiment harness (kept literal
 #: here so the jobs layer stays importable without the harness stack).
 DEFAULT_TOL = 1e-4
 
 _EXECUTORS = ("inline", "process")
+
+#: Version of the JSON wire encoding of one job.  Bump on any change to
+#: the field set or the float encoding; ``from_wire`` refuses unknown
+#: versions instead of guessing.
+JOB_WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A wire payload that cannot be decoded into a job.
+
+    ``field`` names the offending field when known — the service schema
+    surfaces it in structured HTTP error bodies.
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None):
+        super().__init__(message)
+        self.field = field
+
+
+def _float_to_wire(value: float) -> str:
+    """Exact float encoding: ``float.hex`` round-trips bit-for-bit.
+
+    JSON number round-trips are exact in Python (shortest-repr), but the
+    wire may be produced or re-serialized by other stacks; a hex string
+    cannot be silently re-rounded by any of them.
+    """
+    return float(value).hex()
+
+
+def _float_from_wire(value, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise WireError(f"{field}: expected a float or float.hex string, "
+                        f"got {type(value).__name__}", field=field)
+    try:
+        out = float.fromhex(value) if isinstance(value, str) else float(value)
+    except (ValueError, OverflowError):
+        raise WireError(f"{field}: unparseable float {value!r}",
+                        field=field) from None
+    return out
+
+
+def _value_to_wire(value):
+    """Encode one ``extra`` value: floats become tagged hex, containers
+    recurse, everything else must already be JSON-representable."""
+    if isinstance(value, bool) or isinstance(value, (int, str)) \
+            or value is None:
+        return value
+    if isinstance(value, float):
+        return {"float": _float_to_wire(value)}
+    if isinstance(value, (list, tuple)):
+        return [_value_to_wire(v) for v in value]
+    raise WireError(f"extra value {value!r} is not wire-encodable",
+                    field="extra")
+
+
+def _value_from_wire(value, field: str):
+    if isinstance(value, dict):
+        if set(value) != {"float"}:
+            raise WireError(f"{field}: unknown tagged value {value!r}",
+                            field=field)
+        return _float_from_wire(value["float"], field)
+    if isinstance(value, list):
+        # Tuples, not lists: __post_init__ sorts extra items, and jobs
+        # must stay hashable by value.
+        return tuple(_value_from_wire(v, field) for v in value)
+    return value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -122,6 +205,128 @@ class CampaignJob:
             f"c={self.n_clusters} {self.scheme} δ={delta} "
             f"{self.dtype}/{self.executor}"
         )
+
+    # -- wire encoding -----------------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """This job as a versioned, JSON-able wire dict.
+
+        Floats (``tol``, ``delta``, float ``extra`` values) are encoded
+        as ``float.hex`` strings, so decoding reconstructs them
+        bit-for-bit and ``from_wire(to_wire(j)).key() == j.key()`` holds
+        exactly — the property the campaign service's duplicate
+        coalescing and cache addressing stand on.
+        """
+        return {
+            "version": JOB_WIRE_VERSION,
+            "n": self.n,
+            "n_peers": self.n_peers,
+            "n_clusters": self.n_clusters,
+            "scheme": self.scheme,
+            "problem": self.problem,
+            "tol": _float_to_wire(self.tol),
+            "dtype": self.dtype,
+            "executor": self.executor,
+            "delta": (None if self.delta is None
+                      else _float_to_wire(self.delta)),
+            "n_paper": self.n_paper,
+            "seed": self.seed,
+            "extra": [[key, _value_to_wire(value)]
+                      for key, value in self.extra],
+        }
+
+    #: Wire fields that must be ints (bools are rejected: JSON ``true``
+    #: is not a peer count).
+    _WIRE_INT_FIELDS = ("n", "n_peers", "n_clusters", "seed")
+
+    @classmethod
+    def from_wire(cls, wire: Mapping[str, Any]) -> "CampaignJob":
+        """Decode :meth:`to_wire` output (strictly validated).
+
+        Raises :class:`WireError` — with ``field`` set where possible —
+        on unknown versions, missing/unknown fields, and type
+        mismatches, so transport layers can return structured errors
+        instead of stack traces.
+        """
+        if not isinstance(wire, Mapping):
+            raise WireError(
+                f"job must be an object, got {type(wire).__name__}")
+        version = wire.get("version")
+        if version != JOB_WIRE_VERSION:
+            raise WireError(
+                f"unsupported job wire version {version!r} "
+                f"(this build speaks {JOB_WIRE_VERSION})", field="version")
+        known = {"version", "n", "n_peers", "n_clusters", "scheme",
+                 "problem", "tol", "dtype", "executor", "delta",
+                 "n_paper", "seed", "extra"}
+        unknown = set(wire) - known
+        if unknown:
+            raise WireError(f"unknown job field(s) {sorted(unknown)}",
+                            field=sorted(unknown)[0])
+        if "n" not in wire:
+            raise WireError("missing required field 'n'", field="n")
+        fields: dict[str, Any] = {}
+        for name in cls._WIRE_INT_FIELDS:
+            if name in wire:
+                value = wire[name]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise WireError(f"{name}: expected an int, got "
+                                    f"{value!r}", field=name)
+                fields[name] = value
+        for name in ("scheme", "problem", "dtype", "executor"):
+            if name in wire:
+                value = wire[name]
+                if not isinstance(value, str):
+                    raise WireError(f"{name}: expected a string, got "
+                                    f"{value!r}", field=name)
+                fields[name] = value
+        if "tol" in wire:
+            fields["tol"] = _float_from_wire(wire["tol"], "tol")
+        if wire.get("delta") is not None:
+            fields["delta"] = _float_from_wire(wire["delta"], "delta")
+        if wire.get("n_paper") is not None:
+            n_paper = wire["n_paper"]
+            if isinstance(n_paper, bool) or not isinstance(n_paper, int):
+                raise WireError(f"n_paper: expected an int, got "
+                                f"{n_paper!r}", field="n_paper")
+            fields["n_paper"] = n_paper
+        extra = wire.get("extra", [])
+        if isinstance(extra, Mapping):
+            items = list(extra.items())
+        elif isinstance(extra, list):
+            items = []
+            for pair in extra:
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2 \
+                        or not isinstance(pair[0], str):
+                    raise WireError(f"extra: expected [key, value] "
+                                    f"pairs, got {pair!r}", field="extra")
+                items.append((pair[0], pair[1]))
+        else:
+            raise WireError(f"extra: expected a list of pairs, got "
+                            f"{type(extra).__name__}", field="extra")
+        fields["extra"] = tuple(
+            (key, _value_from_wire(value, f"extra[{key}]"))
+            for key, value in items
+        )
+        try:
+            return cls(**fields)
+        except (ValueError, TypeError) as exc:
+            raise WireError(str(exc)) from None
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, **kwargs):
+        """Solve this job; the one execution path every front end uses.
+
+        Delegates to :func:`repro.experiments.harness.run_job` (see
+        there for the keyword-only extras: ``warm_start_u``,
+        ``warm_start_label``, ``timeout``, ``resources``).  Imported
+        lazily so the jobs layer stays importable without the solver
+        stack.
+        """
+        from ..experiments.harness import run_job
+
+        return run_job(self, **kwargs)
 
 
 def expand_matrix(

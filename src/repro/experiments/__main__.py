@@ -1,4 +1,4 @@
-"""Command-line regeneration of the paper's tables and figures.
+"""Command-line front door: subcommands over one shared job model.
 
 Usage::
 
@@ -9,9 +9,15 @@ Usage::
     python -m repro.experiments campaign [--fig 5|6 | --n N] [options]
     python -m repro.experiments scenario --seed N [--scheme S] [--exec E]
     python -m repro.experiments replay <trace.npz> [--executor E]
+    python -m repro.experiments serve [--port P] [--cache-dir D] [...]
+    python -m repro.experiments submit --url URL [matrix options]
 
-``--full`` runs the paper's actual problem sizes (equivalent to setting
-``REPRO_FULL=1``); default is the laptop-scale ratio-preserving setup.
+Every target is a real argparse subcommand; the recurring flag groups
+(problem matrix, dtype/executor, result cache, drivers) are shared
+parent parsers, so ``campaign``, ``serve`` and ``submit`` spell them
+identically.  ``--full`` runs the paper's actual problem sizes
+(equivalent to setting ``REPRO_FULL=1``); default is the laptop-scale
+ratio-preserving setup.
 
 ``scenario`` runs one seeded fault-injection scenario
 (:mod:`repro.scenarios`) — crash/restart, churn, link degradation —
@@ -31,6 +37,12 @@ when fewer than K jobs were served from cache — the CI smoke job uses
 it to assert that a second pass actually hits.  ``--drivers N`` runs
 independent campaign branches in N driver worker processes sharing the
 disk cache; records stay bit-identical to the sequential engine.
+
+``serve`` starts the campaign service daemon (:mod:`repro.service`):
+a long-lived HTTP front door over one persistent result cache and
+driver pool.  ``submit`` builds the same job matrix ``campaign`` would
+and POSTs it to a running daemon instead of solving locally — same
+jobs, same cache keys, bit-identical records.
 """
 
 from __future__ import annotations
@@ -86,32 +98,61 @@ def cmd_figure(n_paper: int, alphas: tuple[int, ...]) -> int:
     return 0
 
 
-def cmd_campaign(args) -> int:
-    from ..campaign import Campaign, ResultCache, expand_matrix
+def _build_cache(args):
+    """The ResultCache the cache flag group describes (None without
+    ``--cache-dir``)."""
+    from ..campaign import ResultCache
+
+    if not args.cache_dir:
+        return None
+    budget = None
+    if args.cache_budget_mb is not None:
+        budget = int(args.cache_budget_mb * 1024 * 1024)
+    return ResultCache(args.cache_dir, max_disk_bytes=budget)
+
+
+def _matrix_jobs(args):
+    """The job list the matrix flag group describes — one builder for
+    ``campaign`` (local engine) and ``submit`` (HTTP), so both sides
+    produce identical jobs and hence identical cache keys."""
+    from ..campaign import expand_matrix
     from .figures import figure_jobs
 
-    cache = None
-    if args.cache_dir:
-        budget = None
-        if args.cache_budget_mb is not None:
-            budget = int(args.cache_budget_mb * 1024 * 1024)
-        cache = ResultCache(args.cache_dir, max_disk_bytes=budget)
+    schemes = tuple(s for s in args.schemes.split(",") if s)
+    clusters = tuple(int(c) for c in args.clusters.split(","))
+    deltas = tuple(float(d) for d in args.deltas.split(",") if d)
     if args.fig:
         n_paper = FIG5_N if args.fig == 5 else FIG6_N
         _n, _alphas, baseline, job_for = figure_jobs(
-            n_paper, peer_counts=args.alphas, schemes=args.schemes,
-            cluster_counts=args.clusters, tol=args.tol,
+            n_paper, peer_counts=args.alphas, schemes=schemes,
+            cluster_counts=clusters, tol=args.tol,
             dtype=args.dtype, executor=args.executor,
         )
         jobs = [baseline, *job_for.values()]
         title = f"Figure {args.fig} grid (paper n={n_paper})"
     else:
+        n = args.n if args.n is not None else scaled_size(FIG5_N)
         jobs = expand_matrix(
-            ns=[args.n], n_peers=args.alphas, n_clusters=args.clusters,
-            schemes=args.schemes, deltas=args.deltas or (None,),
+            ns=[n], n_peers=args.alphas, n_clusters=clusters,
+            schemes=schemes, deltas=deltas or (None,),
             dtypes=[args.dtype], executors=[args.executor], tol=args.tol,
         )
-        title = f"campaign matrix (n={args.n})"
+        title = f"campaign matrix (n={n})"
+    return jobs, title
+
+
+def _print_rows(rows, title) -> None:
+    headers = sorted({k for row in rows for k in row})
+    print()
+    print(format_table(headers, [[row.get(h, "") for h in headers]
+                                 for row in rows], title=title))
+
+
+def cmd_campaign(args) -> int:
+    from ..campaign import Campaign
+
+    cache = _build_cache(args)
+    jobs, title = _matrix_jobs(args)
     print(f"{title}: {len(jobs)} job(s)"
           + (f", cache at {args.cache_dir}" if args.cache_dir else ""),
           flush=True)
@@ -123,31 +164,100 @@ def cmd_campaign(args) -> int:
     with Campaign(jobs, cache=cache, warm_start=args.warm_start,
                   drivers=args.drivers) as campaign:
         outcome = campaign.run(progress=progress)
-    rows = outcome.rows()
-    headers = sorted({k for row in rows for k in row})
-    print()
-    print(format_table(headers, [[row.get(h, "") for h in headers]
-                                 for row in rows], title=title))
+        # Aggregated across driver workers; must be read before close()
+        # shuts the pool down and drops its snapshots.
+        cache_stats = campaign.cache_stats()
+    _print_rows(outcome.rows(), title)
     print(f"\njobs: {outcome.n_jobs}  solved: {outcome.runs}  "
           f"cache hits: {outcome.cache_hits}  "
           f"duplicates: {outcome.duplicates}")
     if args.drivers == 1:
-        # Pool and cache counters live in the driver workers otherwise.
+        # Workspace pools live in the driver workers otherwise.
         pool = campaign.workspace_pool
         if pool is not None:
             print(f"workspace pool: {pool.created} created, "
                   f"{pool.reused} reused")
-        if cache is not None:
-            stats = cache.stats()
-            print(f"result cache: {stats['hits']} hits, "
-                  f"{stats['misses']} misses, {stats['stores']} stores, "
-                  f"{stats['evictions']} evictions "
-                  f"(hit rate {stats['hit_rate']:.0%})")
+    if cache_stats is not None:
+        print(f"result cache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['stores']} stores, "
+              f"{cache_stats['evictions']} evictions "
+              f"(hit rate {cache_stats['hit_rate']:.0%})")
     if args.min_cache_hits and outcome.cache_hits < args.min_cache_hits:
         print(f"FAIL: expected >= {args.min_cache_hits} cache hits, "
               f"got {outcome.cache_hits}")
         return 1
     return 0
+
+
+def cmd_serve(args) -> int:
+    from ..service import CampaignService, ServiceDaemon
+
+    service = CampaignService(
+        cache=_build_cache(args), drivers=args.drivers,
+        max_queue=args.max_queue,
+    )
+    daemon = ServiceDaemon(service, host=args.host, port=args.port,
+                           quiet=not args.verbose)
+    host, port = daemon.address
+    if args.port_file:
+        with open(args.port_file, "w") as fh:
+            fh.write(f"{port}\n")
+    print(f"campaign service listening on {daemon.url} "
+          f"({args.drivers} driver(s), queue <= {args.max_queue}"
+          + (f", cache at {args.cache_dir}" if args.cache_dir else "")
+          + ")", flush=True)
+    print("POST /shutdown (or Ctrl-C) drains in-flight work and exits",
+          flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining ...", flush=True)
+        service.close()
+    print("campaign service stopped", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from ..service import ServiceClient, ServiceError
+
+    jobs, title = _matrix_jobs(args)
+    client = ServiceClient(args.url)
+    print(f"{title}: {len(jobs)} job(s) -> {args.url}", flush=True)
+    try:
+        cid = client.submit(jobs, warm_start=args.warm_start,
+                            tag=args.tag)
+        print(f"campaign {cid} accepted", flush=True)
+        status = client.wait(cid, timeout=args.timeout)
+        if status["status"] != "done":
+            print(f"FAIL: campaign {cid} {status['status']}:")
+            for branch in status["branches"]:
+                if branch.get("error"):
+                    print(f"  branch {branch['index']}: "
+                          f"{branch['error']}")
+            return 1
+        results = client.results(cid)
+        rc = 0
+        if args.shutdown_after:
+            client.shutdown()
+    except ServiceError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    _print_rows([job["row"] for job in results["jobs"]], title)
+    summary = results["summary"]
+    print(f"\njobs: {summary['jobs']}  solved: {summary['solved']}  "
+          f"cache hits: {summary['cache_hits']}  "
+          f"duplicates: {summary['duplicates']}")
+    if args.expect_cached and summary["solved"]:
+        print(f"FAIL: expected a fully cache-served campaign, but "
+              f"{summary['solved']} job(s) solved fresh")
+        rc = 1
+    if args.min_cache_hits \
+            and summary["cache_hits"] < args.min_cache_hits:
+        print(f"FAIL: expected >= {args.min_cache_hits} cache hits, "
+              f"got {summary['cache_hits']}")
+        rc = 1
+    return rc
 
 
 def cmd_scenario(args) -> int:
@@ -191,79 +301,155 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "target",
-        choices=["table1", "fig5", "fig6", "all", "campaign",
-                 "scenario", "replay"],
-    )
-    parser.add_argument(
-        "path", nargs="?", default=None,
-        help="trace file for the replay target",
-    )
-    parser.add_argument(
+# -- parser -------------------------------------------------------------------------
+#
+# Shared flag groups are parent parsers: `campaign`, `serve` and
+# `submit` accept the *same* spellings for the same concepts, and a new
+# subcommand opts into a group with one parents=[...] entry instead of
+# re-declaring flags.
+
+
+def _flag_parents():
+    alphas = argparse.ArgumentParser(add_help=False)
+    alphas.add_argument(
         "--alphas", default="1,2,4,8",
         help="comma-separated machine counts (default 1,2,4,8; the "
              "paper uses 1,2,4,8,16,24)",
     )
-    parser.add_argument(
+    full = argparse.ArgumentParser(add_help=False)
+    full.add_argument(
         "--full", action="store_true",
         help="run the paper's actual problem sizes (96³ / 144³)",
     )
-    group = parser.add_argument_group("campaign options")
-    group.add_argument("--fig", type=int, choices=[5, 6], default=None,
-                       help="regenerate this figure's grid through the "
-                            "campaign engine")
-    group.add_argument("--n", type=int, default=None,
-                       help="custom-matrix problem size (ignored with "
-                            "--fig)")
-    group.add_argument("--schemes", default="synchronous,asynchronous,hybrid",
-                       help="comma-separated schemes")
-    group.add_argument("--clusters", default="1,2",
-                       help="comma-separated cluster counts")
-    group.add_argument("--deltas", default="",
-                       help="comma-separated relaxation steps (delta "
-                            "sweep); empty = the problem default")
-    group.add_argument("--tol", type=float, default=1e-4)
-    group.add_argument("--dtype", default="float64",
-                       choices=["float64", "float32"])
-    group.add_argument("--executor", default="inline",
-                       choices=["inline", "process"])
-    group.add_argument("--cache-dir", default=None,
+    matrix = argparse.ArgumentParser(add_help=False)
+    matrix.add_argument("--fig", type=int, choices=[5, 6], default=None,
+                        help="use this figure's grid as the job matrix")
+    matrix.add_argument("--n", type=int, default=None,
+                        help="custom-matrix problem size (ignored with "
+                             "--fig; default: the scaled fig5 size)")
+    matrix.add_argument("--schemes",
+                        default="synchronous,asynchronous,hybrid",
+                        help="comma-separated schemes")
+    matrix.add_argument("--clusters", default="1,2",
+                        help="comma-separated cluster counts")
+    matrix.add_argument("--deltas", default="",
+                        help="comma-separated relaxation steps (delta "
+                             "sweep); empty = the problem default")
+    matrix.add_argument("--tol", type=float, default=1e-4)
+    matrix.add_argument("--warm-start", action="store_true",
+                        help="seed each delta-sweep solve from its "
+                             "neighbour's solution")
+    solver = argparse.ArgumentParser(add_help=False)
+    solver.add_argument("--dtype", default="float64",
+                        choices=["float64", "float32"])
+    solver.add_argument("--executor", default="inline",
+                        choices=["inline", "process"])
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument("--cache-dir", default=None,
                        help="persistent result-cache directory (created "
                             "if missing); omit for no cross-run cache")
-    group.add_argument("--cache-budget-mb", type=float, default=None,
+    cache.add_argument("--cache-budget-mb", type=float, default=None,
                        help="bound the disk cache to this many MiB with "
                             "least-recently-used eviction (default: "
-                            "unbounded, as before)")
-    group.add_argument("--warm-start", action="store_true",
-                       help="seed each delta-sweep solve from its "
-                            "neighbour's solution")
-    group.add_argument("--drivers", type=int, default=1,
-                       help="driver worker processes executing "
-                            "independent campaign branches in parallel "
-                            "(default 1 = sequential in-process; "
-                            "results are bit-identical either way)")
-    group.add_argument("--min-cache-hits", type=int, default=0,
-                       help="exit 1 when fewer jobs were served from "
-                            "the cache (CI smoke assertion)")
-    sgroup = parser.add_argument_group("scenario / replay options")
-    sgroup.add_argument("--seed", type=int, default=0,
-                        help="scenario seed (the script is a pure "
-                             "function of it)")
-    sgroup.add_argument("--scheme", default=None,
-                        choices=["synchronous", "asynchronous", "hybrid"],
-                        help="override the seed-derived scheme")
-    sgroup.add_argument("--exec", dest="scenario_executor", default=None,
-                        choices=["inline", "process"],
-                        help="override the seed-derived sweep executor")
-    sgroup.add_argument("--dump-dir", default=None,
-                        help="dump schedule traces here when an "
-                             "invariant fails")
+                            "unbounded)")
+    drivers = argparse.ArgumentParser(add_help=False)
+    drivers.add_argument("--drivers", type=int, default=1,
+                         help="driver worker processes executing "
+                              "independent campaign branches in "
+                              "parallel (default 1 = sequential "
+                              "in-process; results are bit-identical "
+                              "either way)")
+    return alphas, full, matrix, solver, cache, drivers
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures, run "
+                    "campaigns, or serve them over HTTP.",
+    )
+    alphas, full, matrix, solver, cache, drivers = _flag_parents()
+    sub = parser.add_subparsers(dest="target", required=True,
+                                metavar="target")
+    sub.add_parser("table1", parents=[alphas, full],
+                   help="audit Table I against live P2PSAP sessions")
+    sub.add_parser("fig5", parents=[alphas, full],
+                   help="regenerate Figure 5 and check its claims")
+    sub.add_parser("fig6", parents=[alphas, full],
+                   help="regenerate Figure 6 and check its claims")
+    sub.add_parser("all", parents=[alphas, full],
+                   help="table1 + fig5 + fig6")
+
+    campaign = sub.add_parser(
+        "campaign", parents=[alphas, full, matrix, solver, cache,
+                             drivers],
+        help="run a job matrix through the batched campaign engine")
+    campaign.add_argument("--min-cache-hits", type=int, default=0,
+                          help="exit 1 when fewer jobs were served from "
+                               "the cache (CI smoke assertion)")
+
+    serve = sub.add_parser(
+        "serve", parents=[cache, drivers],
+        help="start the campaign service daemon (HTTP front door)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 = ephemeral; see --port-file)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here (for scripts "
+                            "using --port 0)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission-queue bound in branches; past "
+                            "it submissions get 503")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit", parents=[alphas, full, matrix, solver],
+        help="submit a job matrix to a running campaign service")
+    submit.add_argument("--url", required=True,
+                        help="base URL of the daemon (e.g. "
+                             "http://127.0.0.1:8765)")
+    submit.add_argument("--tag", default=None,
+                        help="label the submission in daemon status")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to poll before giving up")
+    submit.add_argument("--min-cache-hits", type=int, default=0,
+                        help="exit 1 when fewer jobs were served from "
+                             "the daemon's cache")
+    submit.add_argument("--expect-cached", action="store_true",
+                        help="exit 1 if anything solved fresh (CI "
+                             "resubmission assertion)")
+    submit.add_argument("--shutdown-after", action="store_true",
+                        help="POST /shutdown once results are fetched")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run one seeded fault-injection scenario")
+    scenario.add_argument("--seed", type=int, default=0,
+                          help="scenario seed (the script is a pure "
+                               "function of it)")
+    scenario.add_argument("--scheme", default=None,
+                          choices=["synchronous", "asynchronous",
+                                   "hybrid"],
+                          help="override the seed-derived scheme")
+    scenario.add_argument("--exec", dest="scenario_executor",
+                          default=None, choices=["inline", "process"],
+                          help="override the seed-derived sweep "
+                               "executor")
+    scenario.add_argument("--dump-dir", default=None,
+                          help="dump schedule traces here when an "
+                               "invariant fails")
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a dumped schedule trace bit-exactly")
+    replay.add_argument("path", help="trace file (.npz)")
+    replay.add_argument("--executor", default="inline",
+                        choices=["inline", "process"])
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "cache_budget_mb", None) is not None:
         if not args.cache_dir:
@@ -271,34 +457,33 @@ def main(argv=None) -> int:
                          "(there is no disk cache to bound without one)")
         if args.cache_budget_mb <= 0:
             parser.error("--cache-budget-mb must be positive")
-    if args.full:
+    if getattr(args, "drivers", 1) < 1:
+        parser.error("--drivers must be >= 1")
+    if getattr(args, "max_queue", 1) < 1:
+        parser.error("--max-queue must be >= 1")
+    if getattr(args, "full", False):
         os.environ["REPRO_FULL"] = "1"
-    args.alphas = tuple(int(a) for a in args.alphas.split(","))
-    alphas = args.alphas
+    if hasattr(args, "alphas"):
+        args.alphas = tuple(int(a) for a in args.alphas.split(","))
 
     if args.target == "scenario":
         return cmd_scenario(args)
     if args.target == "replay":
-        if args.path is None:
-            parser.error("replay needs a trace file path")
         return cmd_replay(args)
     if args.target == "campaign":
-        if args.drivers < 1:
-            parser.error("--drivers must be >= 1")
-        args.schemes = tuple(s for s in args.schemes.split(",") if s)
-        args.clusters = tuple(int(c) for c in args.clusters.split(","))
-        args.deltas = tuple(float(d) for d in args.deltas.split(",") if d)
-        if args.fig is None and args.n is None:
-            args.n = scaled_size(FIG5_N)
         return cmd_campaign(args)
+    if args.target == "serve":
+        return cmd_serve(args)
+    if args.target == "submit":
+        return cmd_submit(args)
 
     rc = 0
     if args.target in ("table1", "all"):
         rc |= cmd_table1()
     if args.target in ("fig5", "all"):
-        rc |= cmd_figure(FIG5_N, alphas)
+        rc |= cmd_figure(FIG5_N, args.alphas)
     if args.target in ("fig6", "all"):
-        rc |= cmd_figure(FIG6_N, alphas)
+        rc |= cmd_figure(FIG6_N, args.alphas)
     return rc
 
 

@@ -27,7 +27,6 @@ from typing import Any, Optional
 
 
 from ..core.environment import P2PDC
-from ..numerics.tolerances import resolve_dtype
 from ..p2psap.context import Scheme
 from ..simnet.oedl import ExperimentDescription
 from ..simnet.topology import NICTA_SPEC, TestbedSpec
@@ -41,6 +40,7 @@ __all__ = [
     "full_mode",
     "scaled_spec",
     "run_configuration",
+    "run_job",
     "DEFAULT_TOL",
 ]
 
@@ -109,6 +109,91 @@ class RunResult:
         return out
 
 
+def run_job(
+    job,
+    *,
+    timeout: float = 1e7,
+    warm_start_u=None,
+    warm_start_label: Optional[str] = None,
+    resources=None,
+) -> RunResult:
+    """Execute one :class:`~repro.campaign.jobs.CampaignJob` end to end.
+
+    This is the repo's *single* execution path: ``run_configuration``
+    (the historical kwargs API), the campaign engine, the CLI, and the
+    campaign-service HTTP schema all normalize their inputs into a
+    ``CampaignJob`` and land here — one params plumbing instead of
+    three parallel ones.
+
+    The keyword-only extras are per-*call* state, deliberately not job
+    identity: an optional full-iterate warm start (``warm_start_u``
+    must carry the job's dtype; ``warm_start_label`` names its source
+    in the report provenance — the campaign engine keys the warm edge
+    into the *cache* signature separately), the simulated-time
+    ``timeout``, and ``resources`` — the explicit
+    :class:`~repro.resources.ResourceContext` the solve's pooled
+    resources (sweep workspaces, shared runners, problem instances)
+    resolve against.  ``resources=None`` means the process default,
+    which is bit-identical to the historical behaviour.  It is threaded
+    through the deployment (``P2PDC`` → executors → ``TaskContext``),
+    never through ``params``: params are modeled wire payload, and
+    adding a key would change every SUBTASK's simulated dispatch cost.
+    """
+    scheme = Scheme.parse(job.scheme)
+    n, n_peers = job.n, job.n_peers
+    spec = NICTA_SPEC if job.n_paper is None or n >= job.n_paper \
+        else scaled_spec(n, job.n_paper)
+    desc = ExperimentDescription(
+        name=f"obstacle-n{n}-a{n_peers}-c{job.n_clusters}-{scheme.value}",
+        n_peers=n_peers,
+        n_clusters=job.n_clusters,
+        spec=spec,
+        app_name="obstacle",
+        app_params={"n": n, "tol": job.tol, "problem": job.problem},
+        seed=job.seed,
+    )
+    deployment = desc.materialize()
+    env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml,
+                resources=resources)
+    env.register_everywhere(ObstacleApplication(resources=resources))
+    params = {"n": n, "tol": job.tol, "problem": job.problem}
+    # Canonical params: a default value never enters the dict, so e.g.
+    # dtype="float64" and dtype=None build byte-identical SUBTASK
+    # payloads — the modeled dispatch cost (and hence simulated time)
+    # cannot depend on *how* a caller spelled the default.  The job's
+    # __post_init__ already normalized scheme/dtype/executor/delta, and
+    # the campaign engine's pooled runs rely on this to stay
+    # bit-identical to cold calls.
+    if job.dtype != "float64":
+        params["dtype"] = job.dtype
+    if job.executor != "inline":
+        params["executor"] = job.executor
+    if job.delta is not None:
+        params["delta"] = job.delta
+    if warm_start_u is not None:
+        params["warm_start_u"] = warm_start_u
+        if warm_start_label is not None:
+            params["warm_start_label"] = warm_start_label
+    if job.extra:
+        params.update(job.extra_params)
+    run = env.run_to_completion(
+        "obstacle", params=params, n_peers=n_peers, scheme=scheme,
+        timeout=timeout,
+    )
+    report: DistributedSolveReport = run.output
+    return RunResult(
+        n=n,
+        n_peers=n_peers,
+        n_clusters=job.n_clusters,
+        scheme=scheme,
+        elapsed=run.elapsed,
+        relaxations=report.relaxations,
+        residual=report.residual,
+        report=report,
+        max_wait_time=report.max_wait_time,
+    )
+
+
 def run_configuration(
     n: int,
     n_peers: int,
@@ -133,69 +218,24 @@ def run_configuration(
     ``n_paper`` enables ratio-preserving scaling (see :func:`scaled_spec`);
     None runs at the given size on the unscaled NICTA spec.
 
-    The keyword-only extras mirror the solver params the campaign
-    engine drives: iterate ``dtype`` (float64/float32), sweep
-    ``executor`` ("inline"/"process"), relaxation step ``delta``
-    (None = the problem's Jacobi step), and an optional full-iterate
-    warm start (``warm_start_u`` must carry the solve's dtype;
-    ``warm_start_label`` names its source in the report provenance).
-
-    ``resources`` is the explicit
-    :class:`~repro.resources.ResourceContext` the solve's pooled
-    resources (sweep workspaces, shared runners, problem instances)
-    resolve against — ``None`` means the process default, which is
-    bit-identical to the historical behaviour.  It is threaded through
-    the deployment (``P2PDC`` → executors → ``TaskContext``), never
-    through ``params``: params are modeled wire payload, and adding a
-    key would change every SUBTASK's simulated dispatch cost.
+    A thin kwargs front over :func:`run_job`: the arguments are
+    normalized into a :class:`~repro.campaign.jobs.CampaignJob` (the
+    canonical request type — also what the campaign engine, the CLI
+    subcommands and the service wire schema build) and executed through
+    the one shared path.  ``dtype``/``executor``/``delta`` mirror the
+    solver params the campaign engine drives; ``warm_start_u``/
+    ``warm_start_label``/``timeout``/``resources`` are per-call state —
+    see :func:`run_job`.
     """
-    scheme = Scheme.parse(scheme)
-    spec = NICTA_SPEC if n_paper is None or n >= n_paper else scaled_spec(n, n_paper)
-    desc = ExperimentDescription(
-        name=f"obstacle-n{n}-a{n_peers}-c{n_clusters}-{scheme.value}",
-        n_peers=n_peers,
-        n_clusters=n_clusters,
-        spec=spec,
-        app_name="obstacle",
-        app_params={"n": n, "tol": tol, "problem": problem},
-        seed=seed,
+    from ..campaign.jobs import CampaignJob
+
+    job = CampaignJob(
+        n=n, n_peers=n_peers, n_clusters=n_clusters,
+        scheme=Scheme.parse(scheme).value, problem=problem, tol=tol,
+        dtype="float64" if dtype is None else dtype,
+        executor="inline" if executor is None else executor,
+        delta=delta, n_paper=n_paper, seed=seed,
+        extra=extra_params or (),
     )
-    deployment = desc.materialize()
-    env = P2PDC(deployment.sim, deployment.network, oml=deployment.oml,
-                resources=resources)
-    env.register_everywhere(ObstacleApplication(resources=resources))
-    params = {"n": n, "tol": tol, "problem": problem}
-    # Canonical params: a default value never enters the dict, so e.g.
-    # dtype="float64" and dtype=None build byte-identical SUBTASK
-    # payloads — the modeled dispatch cost (and hence simulated time)
-    # cannot depend on *how* a caller spelled the default.  The campaign
-    # engine's pooled runs rely on this to stay bit-identical to cold
-    # calls.
-    if dtype is not None and resolve_dtype(dtype).name != "float64":
-        params["dtype"] = resolve_dtype(dtype).name
-    if executor is not None and executor != "inline":
-        params["executor"] = executor
-    if delta is not None:
-        params["delta"] = float(delta)
-    if warm_start_u is not None:
-        params["warm_start_u"] = warm_start_u
-        if warm_start_label is not None:
-            params["warm_start_label"] = warm_start_label
-    if extra_params:
-        params.update(extra_params)
-    run = env.run_to_completion(
-        "obstacle", params=params, n_peers=n_peers, scheme=scheme,
-        timeout=timeout,
-    )
-    report: DistributedSolveReport = run.output
-    return RunResult(
-        n=n,
-        n_peers=n_peers,
-        n_clusters=n_clusters,
-        scheme=scheme,
-        elapsed=run.elapsed,
-        relaxations=report.relaxations,
-        residual=report.residual,
-        report=report,
-        max_wait_time=report.max_wait_time,
-    )
+    return run_job(job, timeout=timeout, warm_start_u=warm_start_u,
+                   warm_start_label=warm_start_label, resources=resources)

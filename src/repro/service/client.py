@@ -1,0 +1,142 @@
+"""A stdlib HTTP client for the campaign service daemon.
+
+Thin by design: :class:`ServiceClient` speaks exactly the wire schema
+of :mod:`repro.service.schema` over ``urllib.request``, decodes
+structured error bodies into :class:`ServiceError`, and adds the one
+convenience a shell pipeline needs — :meth:`wait`, a poll loop over
+``GET /campaigns/<id>`` that returns the final status document.
+
+Everything a submission needs for bit-identical results travels inside
+the :class:`~repro.campaign.jobs.CampaignJob` wire dicts; the client
+adds no parameters of its own.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Optional
+
+from ..campaign.jobs import CampaignJob
+from .schema import submission_to_wire
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the daemon, with its structured body.
+
+    ``status`` is the HTTP status; ``code`` and ``payload`` carry the
+    service's JSON error envelope when one was returned (plain-text
+    bodies from middle boxes decode to ``code="http-error"``).
+    """
+
+    def __init__(self, message: str, *, status: int,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def code(self) -> str:
+        return self.payload.get("error", {}).get("code", "http-error")
+
+
+class ServiceClient:
+    """Client for one daemon at ``base_url`` (e.g. a
+    :attr:`~repro.service.daemon.ServiceDaemon.url`)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                if response.headers.get_content_type() \
+                        == "application/octet-stream":
+                    return raw
+                return json.loads(raw)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            message = payload.get("error", {}).get(
+                "message", raw.decode(errors="replace") or str(exc))
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}",
+                status=exc.code, payload=payload,
+            ) from None
+        except urllib.error.URLError as exc:
+            # Connection-level failure (daemon down, refused, DNS):
+            # status 0, no payload.
+            raise ServiceError(
+                f"{method} {path} -> {exc.reason}", status=0,
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def submit(self, jobs: Iterable[CampaignJob], *,
+               warm_start: bool = False,
+               tag: Optional[str] = None) -> str:
+        """``POST /campaigns``; returns the campaign id."""
+        wire = submission_to_wire(jobs, warm_start=warm_start, tag=tag)
+        return self._request("POST", "/campaigns", wire)["id"]
+
+    def status(self, cid: str) -> dict:
+        """``GET /campaigns/<id>``."""
+        return self._request("GET", f"/campaigns/{cid}")
+
+    def results(self, cid: str) -> dict:
+        """``GET /campaigns/<id>/results`` (409 until done)."""
+        return self._request("GET", f"/campaigns/{cid}/results")
+
+    def iterate(self, cid: str, cache_key: str):
+        """Fetch one solution iterate as an ndarray, bit-exact."""
+        import numpy as np
+
+        raw = self._request(
+            "GET", f"/campaigns/{cid}/iterates/{cache_key}.npy")
+        return np.load(io.BytesIO(raw), allow_pickle=False)
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown``: ask the daemon to drain and exit."""
+        return self._request("POST", "/shutdown")
+
+    def wait(self, cid: str, *, timeout: float = 600.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the campaign leaves queued/running; returns the
+        final status document (``status`` is ``done`` or ``failed``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(cid)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {cid} still {status['status']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)

@@ -1,0 +1,775 @@
+"""The campaign service daemon: an HTTP front door over a persistent
+:class:`~repro.campaign.driver.DriverPool`.
+
+The paper's P2PDC environment is a *service*: users submit obstacle
+tasks to a long-lived peer network, they do not run one-shot scripts.
+This module is that front door for the reproduction — a stdlib-only
+(``http.server``/``socketserver``) threaded daemon that owns solver
+resources for its whole lifetime and schedules work from many requests
+over them:
+
+- **Persistent resources.**  One :class:`~repro.campaign.ResultCache`
+  and one driver pool live across requests; a second submission of a
+  matrix the daemon has already solved never solves again.  The daemon
+  executes nothing against the process-default
+  :class:`~repro.resources.ResourceContext` — it owns a private context
+  for the (rare) branches it serves in-process, and each driver worker
+  owns its own, per the ownership rules in
+  :mod:`repro.campaign.engine`.
+- **Bounded admission queue.**  A submission is planned
+  (:func:`~repro.campaign.jobs.plan_jobs` →
+  :func:`~repro.campaign.engine.resolve_cache_keys` — the same static
+  planning the engine uses, so daemon records are bit-identical to CLI
+  campaign records) and its branches join one FIFO queue, bounded by
+  ``max_queue``; past the bound the daemon answers 503 instead of
+  buffering unboundedly.
+- **Branch-level scheduling.**  The scheduler thread hands *branches*
+  (whole warm-start chains — the engine's unit of driver work) to idle
+  drivers in queue order, skipping over branches that are not ready,
+  so a small campaign is never stuck behind a big one when a driver is
+  free.
+- **In-flight coalescing.**  Every branch's cache keys are known
+  statically; the first branch to claim a key owns it, and any branch
+  sharing a key with unfinished work defers instead of re-solving.
+  When the owner completes, the deferred branch finds every entry in
+  the daemon's cache and is served without touching a driver — a
+  duplicate submission costs one cache sweep, not a solve.
+
+Endpoints (see :mod:`repro.service.schema` for the wire format)::
+
+    POST /campaigns                      submit a job matrix -> id
+    GET  /campaigns/<id>                 queued/running/done per branch
+    GET  /campaigns/<id>/results         records + provenance
+    GET  /campaigns/<id>/iterates/<cache_key>.npy
+                                         the solution iterate, bit-exact
+    GET  /stats                          cache/pool/queue counters
+    POST /shutdown                       drain accepted work, then exit
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+import numpy as np
+
+from ..campaign.cache import ResultCache
+from ..campaign.driver import DriverBranchError, DriverPool, cache_spec
+from ..campaign.engine import (
+    ExecutedJob,
+    _execute_chunk,
+    _release_leases,
+    resolve_cache_keys,
+    tasks_for,
+)
+from ..campaign.jobs import plan_jobs
+from ..resources import ResourceContext
+from .schema import SCHEMA_VERSION, SchemaError, Submission
+
+__all__ = ["AdmissionError", "CampaignService", "ServiceDaemon"]
+
+#: Request bodies past this size are refused before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class AdmissionError(Exception):
+    """A submission the service cannot accept right now."""
+
+    def __init__(self, message: str, *, code: str, status: int):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+    def payload(self) -> dict[str, Any]:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+class _Branch:
+    """One schedulable unit: a whole warm-start chain of one campaign."""
+
+    __slots__ = ("tasks", "status", "records", "driver", "error",
+                 "owned_keys")
+
+    def __init__(self, tasks: list):
+        self.tasks = tasks
+        self.status = "queued"  # queued | running | done | failed
+        self.records: Optional[list[ExecutedJob]] = None
+        self.driver: Optional[int] = None
+        self.error: Optional[str] = None
+        #: Cache keys this branch claimed at admission (first claimant
+        #: wins); released when the branch leaves the running set.
+        self.owned_keys: tuple[str, ...] = ()
+
+    @property
+    def cache_keys(self) -> list[str]:
+        return [ckey for _job, ckey, _sig, _warm in self.tasks]
+
+
+class _CampaignState:
+    """Everything the daemon tracks about one submission."""
+
+    def __init__(self, cid: str, submission: Submission, plan, ckeys,
+                 signatures, branches: list[_Branch]):
+        self.id = cid
+        self.tag = submission.tag
+        self.warm_start = submission.warm_start
+        self.plan = plan
+        self.ckeys = ckeys
+        self.signatures = signatures
+        self.branches = branches
+        self.created = time.time()
+
+    @property
+    def status(self) -> str:
+        states = {branch.status for branch in self.branches}
+        if states == {"queued"}:
+            return "queued"
+        if "failed" in states:
+            return "failed"
+        if states == {"done"}:
+            return "done"
+        return "running"
+
+    def records(self) -> list[ExecutedJob]:
+        """One record per *submitted* job, in submission order (same
+        duplicate-collapsing contract as ``Campaign.run``)."""
+        import dataclasses
+
+        by_key = {
+            record.key: record
+            for branch in self.branches
+            for record in branch.records or []
+        }
+        records = []
+        seen: set[str] = set()
+        for job in self.plan.jobs:
+            record = by_key[job.key()]
+            if record.key in seen:
+                record = dataclasses.replace(record, job=job,
+                                             source="duplicate",
+                                             wall_time=0.0)
+            seen.add(record.key)
+            records.append(record)
+        return records
+
+
+class CampaignService:
+    """The daemon's state machine, independent of HTTP.
+
+    ``drivers`` is the size of the persistent worker pool; ``cache``
+    defaults to a private in-memory :class:`ResultCache` (pass a rooted
+    one to share results with CLI campaigns and across restarts).
+    ``autostart=False`` leaves the scheduler thread unstarted — tests
+    use it to fill the admission queue deterministically, then
+    :meth:`start`.
+    """
+
+    def __init__(self, *, cache: Optional[ResultCache] = None,
+                 drivers: int = 1, max_queue: int = 64,
+                 autostart: bool = True):
+        if drivers < 1:
+            raise ValueError(f"drivers must be >= 1, got {drivers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.drivers = int(drivers)
+        self.max_queue = int(max_queue)
+        self.started = time.time()
+        # The daemon's own execution context, for branches it serves
+        # in-process.  Never the process default: a service must be
+        # embeddable next to unrelated solves without sharing pools.
+        self._resources = ResourceContext(name="service")
+        self._leases: dict = {}
+        self._pool: Optional[DriverPool] = None
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._campaigns: dict[str, _CampaignState] = {}
+        self._queue: list[tuple[str, int]] = []  # (cid, branch index)
+        self._owner: dict[str, tuple[str, int]] = {}  # ckey -> owner
+        self._tickets: dict[int, tuple[str, int]] = {}
+        self._seq = 0
+        self._draining = False
+        self._drained = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        if autostart:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        with self._lock:
+            if self._scheduler is not None:
+                return
+            self._scheduler = threading.Thread(
+                target=self._run_scheduler, name="campaign-scheduler",
+                daemon=True,
+            )
+            self._scheduler.start()
+
+    def drain(self) -> dict[str, Any]:
+        """Stop admitting; finish everything accepted; then stop.
+
+        Returns a snapshot of the work being drained.  Idempotent.
+        """
+        with self._wake:
+            self._draining = True
+            queued = len(self._queue)
+            running = len(self._tickets)
+            self._wake.notify_all()
+        return {"draining": True, "queued_branches": queued,
+                "running_branches": running}
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the drain completed (scheduler exited)."""
+        if self._scheduler is None:
+            # Never started: nothing will ever drain the queue.
+            self._drained.set()
+        return self._drained.wait(timeout)
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Drain and wait; the hard stop for embedders and tests."""
+        self.drain()
+        self.start()  # a never-started service still needs its queue run
+        if not self.join(timeout):
+            raise RuntimeError("campaign service failed to drain in time")
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, submission: Submission) -> str:
+        """Plan a submission and admit its branches; returns the id.
+
+        Raises :class:`AdmissionError` when draining (409) or when the
+        admission queue is full (503).
+        """
+        plan = plan_jobs(list(submission.jobs),
+                         warm_start=submission.warm_start)
+        ckeys, signatures = resolve_cache_keys(plan)
+        branches = [
+            _Branch(tasks_for(plan, jobs, ckeys, signatures))
+            for jobs in plan.branches()
+        ]
+        with self._wake:
+            if self._draining:
+                raise AdmissionError(
+                    "service is draining and no longer admits work",
+                    code="draining", status=409)
+            if len(self._queue) + len(branches) > self.max_queue:
+                raise AdmissionError(
+                    f"admission queue full ({len(self._queue)} of "
+                    f"{self.max_queue} branches queued); retry later",
+                    code="queue-full", status=503)
+            self._seq += 1
+            cid = f"c{self._seq:06d}"
+            state = _CampaignState(cid, submission, plan, ckeys,
+                                   signatures, branches)
+            self._campaigns[cid] = state
+            for index, branch in enumerate(branches):
+                # First claimant owns a key; a branch sharing keys with
+                # in-flight work defers at dispatch until the owner is
+                # done, then is served from the cache.
+                owned = []
+                for ckey in branch.cache_keys:
+                    if ckey not in self._owner:
+                        self._owner[ckey] = (cid, index)
+                        owned.append(ckey)
+                branch.owned_keys = tuple(owned)
+                self._queue.append((cid, index))
+            self._wake.notify_all()
+        return cid
+
+    # -- scheduler ---------------------------------------------------------------
+
+    def _branch_ready(self, cid: str, index: int) -> bool:
+        """A branch may dispatch when no *other* unfinished branch owns
+        any of its keys."""
+        branch = self._campaigns[cid].branches[index]
+        for ckey in branch.cache_keys:
+            owner = self._owner.get(ckey)
+            if owner is not None and owner != (cid, index):
+                return False
+        return True
+
+    def _branch_cached(self, branch: _Branch) -> bool:
+        """Whole branch resident in the daemon's own memory layer —
+        serve it here instead of occupying a driver."""
+        return all(self.cache.has_memory(ckey)
+                   for ckey in branch.cache_keys)
+
+    def _release(self, cid: str, index: int) -> None:
+        branch = self._campaigns[cid].branches[index]
+        for ckey in branch.owned_keys:
+            if self._owner.get(ckey) == (cid, index):
+                del self._owner[ckey]
+        branch.owned_keys = ()
+
+    def _finish(self, cid: str, index: int,
+                records: list[ExecutedJob]) -> None:
+        branch = self._campaigns[cid].branches[index]
+        branch.records = records
+        branch.status = "done"
+        for record in records:
+            # Re-member everything (the engine re-members only "run"):
+            # deferred duplicates and restarts-over-a-warm-disk-cache
+            # must find entries in the parent memory layer.
+            self.cache._remember(record.cache_key, record.result)
+        self._release(cid, index)
+
+    def _fail(self, cid: str, index: int, error: str) -> None:
+        branch = self._campaigns[cid].branches[index]
+        branch.status = "failed"
+        branch.error = error
+        self._release(cid, index)
+
+    def _dispatch_locked(self) -> None:
+        """Move ready queue entries onto drivers (or serve them from
+        cache in place).  Runs with the lock held."""
+        remaining: list[tuple[str, int]] = []
+        for cid, index in self._queue:
+            branch = self._campaigns[cid].branches[index]
+            if not self._branch_ready(cid, index):
+                remaining.append((cid, index))
+                continue
+            if self._branch_cached(branch):
+                branch.status = "running"
+                try:
+                    records = _execute_chunk(
+                        branch.tasks, cache=self.cache,
+                        resources=self._resources, leases=self._leases,
+                        keep_runners=True,
+                    )
+                except Exception as exc:  # pragma: no cover - cache rot
+                    self._fail(cid, index, repr(exc))
+                else:
+                    self._finish(cid, index, records)
+                continue
+            pool = self._ensure_pool()
+            if pool.idle == 0:
+                remaining.append((cid, index))
+                continue
+            branch.status = "running"
+            ticket = pool.submit(branch.tasks)
+            branch.driver = self._active_driver_of(ticket)
+            self._tickets[ticket] = (cid, index)
+        self._queue = remaining
+
+    def _active_driver_of(self, ticket: int) -> Optional[int]:
+        for worker, active in self._pool._active.items():
+            if active == ticket:
+                return worker
+        return None
+
+    def _ensure_pool(self) -> DriverPool:
+        if self._pool is None:
+            self._pool = DriverPool(
+                self.drivers, cache_spec=cache_spec(self.cache),
+            )
+        return self._pool
+
+    def _run_scheduler(self) -> None:
+        try:
+            while True:
+                with self._wake:
+                    self._dispatch_locked()
+                    if not self._tickets:
+                        if self._draining and not self._queue:
+                            break
+                        self._wake.wait(timeout=0.1)
+                        continue
+                    pool = self._pool
+                # Poll outside the lock: submissions and status reads
+                # must not block on a branch in flight.
+                try:
+                    completions = pool.wait(timeout=0.05)
+                except DriverBranchError as exc:
+                    with self._wake:
+                        cid, index = self._tickets.pop(exc.ticket)
+                        self._fail(cid, index, str(exc))
+                        self._wake.notify_all()
+                    continue
+                with self._wake:
+                    for ticket, records in completions:
+                        cid, index = self._tickets.pop(ticket)
+                        self._finish(cid, index, records)
+                    if completions:
+                        self._wake.notify_all()
+        except Exception as exc:  # pool death and other non-branch faults
+            with self._wake:
+                for ticket, (cid, index) in list(self._tickets.items()):
+                    self._fail(cid, index, repr(exc))
+                self._tickets.clear()
+                for cid, index in self._queue:
+                    self._fail(cid, index, f"scheduler stopped: {exc!r}")
+                self._queue.clear()
+                self._draining = True
+        finally:
+            with self._lock:
+                pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.close()
+            _release_leases(self._leases, self._resources)
+            self._drained.set()
+
+    # -- views -------------------------------------------------------------------
+
+    def _get(self, cid: str) -> _CampaignState:
+        state = self._campaigns.get(cid)
+        if state is None:
+            raise KeyError(cid)
+        return state
+
+    def status(self, cid: str) -> dict[str, Any]:
+        with self._lock:
+            state = self._get(cid)
+            positions = {entry: pos for pos, entry
+                         in enumerate(self._queue)}
+            branches = []
+            done_jobs = 0
+            for index, branch in enumerate(state.branches):
+                if branch.status == "done":
+                    done_jobs += len(branch.tasks)
+                entry: dict[str, Any] = {
+                    "index": index,
+                    "status": branch.status,
+                    "jobs": len(branch.tasks),
+                    "cache_keys": branch.cache_keys,
+                }
+                position = positions.get((cid, index))
+                if position is not None:
+                    entry["queue_position"] = position
+                if branch.driver is not None:
+                    entry["driver"] = branch.driver
+                if branch.error is not None:
+                    entry["error"] = branch.error
+                branches.append(entry)
+            return {
+                "version": SCHEMA_VERSION,
+                "id": cid,
+                "tag": state.tag,
+                "status": state.status,
+                "unique_jobs": len(state.plan.order),
+                "submitted_jobs": len(state.plan.jobs),
+                "done_jobs": done_jobs,
+                "branches": branches,
+            }
+
+    def results(self, cid: str) -> dict[str, Any]:
+        with self._lock:
+            state = self._get(cid)
+            status = state.status
+            if status == "failed":
+                errors = [b.error for b in state.branches if b.error]
+                raise SchemaError(
+                    "campaign failed: " + "; ".join(errors),
+                    code="campaign-failed")
+            if status != "done":
+                raise SchemaError(
+                    f"campaign {cid} is {status}; results exist once "
+                    f"it is done", code="not-done")
+            records = state.records()
+        jobs = []
+        for record in records:
+            result = record.result
+            row = result.row()
+            row["source"] = record.source
+            if record.warm_from is not None:
+                row["warm_from"] = record.warm_from
+            jobs.append({
+                "key": record.key,
+                "cache_key": record.cache_key,
+                "label": record.job.label(),
+                "job": record.job.to_wire(),
+                "source": record.source,
+                "warm_from": record.warm_from,
+                "wall_time": record.wall_time,
+                "row": row,
+                "provenance": result.report.provenance,
+                "iterate": f"/campaigns/{cid}/iterates/"
+                           f"{record.cache_key}.npy",
+            })
+        sources = [record.source for record in records]
+        return {
+            "version": SCHEMA_VERSION,
+            "id": cid,
+            "tag": state.tag,
+            "status": "done",
+            "jobs": jobs,
+            "summary": {
+                "jobs": len(records),
+                "solved": sources.count("run"),
+                "cache_hits": sources.count("cache"),
+                "duplicates": sources.count("duplicate"),
+            },
+        }
+
+    def iterate_bytes(self, cid: str, ckey: str) -> bytes:
+        """The solution iterate for one cache key, as ``.npy`` bytes —
+        byte-identical to the entry a rooted cache writes on disk."""
+        with self._lock:
+            state = self._get(cid)
+            record = None
+            for branch in state.branches:
+                for candidate in branch.records or []:
+                    if candidate.cache_key == ckey:
+                        record = candidate
+                        break
+            if record is None:
+                raise KeyError(ckey)
+        buffer = io.BytesIO()
+        np.save(buffer, record.result.report.u)
+        return buffer.getvalue()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            stats = self.cache.stats()
+            pool = self._pool
+            if pool is not None:
+                for snapshot in pool.cache_stats():
+                    if snapshot is None:
+                        continue
+                    for counter in ("hits", "misses", "stores",
+                                    "evictions"):
+                        stats[counter] += snapshot.get(counter, 0)
+                utilization = pool.utilization()
+            else:
+                utilization = {
+                    "drivers": self.drivers, "busy": 0,
+                    "idle": 0, "branches_per_driver": [],
+                }
+            lookups = stats["hits"] + stats["misses"]
+            stats["hit_rate"] = stats["hits"] / lookups if lookups else 0.0
+            by_status: dict[str, int] = {}
+            for state in self._campaigns.values():
+                by_status[state.status] = by_status.get(state.status, 0) + 1
+            return {
+                "version": SCHEMA_VERSION,
+                "uptime_s": time.time() - self.started,
+                "draining": self._draining,
+                "cache": stats,
+                "pool": utilization,
+                "queue": {
+                    "depth": len(self._queue),
+                    "running": len(self._tickets),
+                    "max": self.max_queue,
+                },
+                "campaigns": {"total": len(self._campaigns), **by_status},
+            }
+
+
+# -- HTTP layer ---------------------------------------------------------------------
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: CampaignService,
+                 quiet: bool):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-campaign-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if not self.server.quiet:  # pragma: no cover - log plumbing
+            super().log_message(format, *args)
+
+    # A poller that hangs up mid-response must not take its handler
+    # thread down with a stack trace; the next request gets a fresh
+    # thread either way.
+    def handle_one_request(self):
+        try:
+            super().handle_one_request()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload, indent=1).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str,
+                         message: str) -> None:
+        self._send_json(status,
+                        {"error": {"code": code, "message": message}})
+
+    def _read_body(self) -> Any:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise SchemaError("missing or invalid Content-Length",
+                              code="bad-length") from None
+        if length > MAX_BODY_BYTES:
+            raise SchemaError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit", code="body-too-large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"request body is not valid JSON: {exc}",
+                              code="bad-json") from None
+
+    def do_POST(self) -> None:
+        try:
+            if self.path == "/campaigns":
+                from .schema import submission_from_wire
+
+                submission = submission_from_wire(self._read_body())
+                cid = self.service.submit(submission)
+                self._send_json(202, {
+                    "version": SCHEMA_VERSION,
+                    "id": cid,
+                    "status_url": f"/campaigns/{cid}",
+                    "results_url": f"/campaigns/{cid}/results",
+                })
+            elif self.path == "/shutdown":
+                snapshot = self.service.drain()
+                self._send_json(200, snapshot)
+                self.server.begin_shutdown()
+            else:
+                self._send_error_json(404, "not-found",
+                                      f"no such endpoint {self.path!r}")
+        except SchemaError as exc:
+            self._send_json(400, exc.payload())
+        except AdmissionError as exc:
+            self._send_json(exc.status, exc.payload())
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_error_json(500, "internal", repr(exc))
+
+    def do_GET(self) -> None:
+        try:
+            parts = [p for p in self.path.split("/") if p]
+            if parts == ["stats"]:
+                self._send_json(200, self.service.stats())
+            elif parts == ["healthz"]:
+                self._send_json(200, {"ok": True})
+            elif len(parts) >= 2 and parts[0] == "campaigns":
+                self._get_campaign(parts[1:])
+            else:
+                self._send_error_json(404, "not-found",
+                                      f"no such endpoint {self.path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, "not-found",
+                                  f"unknown resource {exc.args[0]!r}")
+        except SchemaError as exc:
+            status = 409 if exc.code in ("not-done",
+                                         "campaign-failed") else 400
+            self._send_json(status, exc.payload())
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_error_json(500, "internal", repr(exc))
+
+    def _get_campaign(self, parts: list[str]) -> None:
+        cid = parts[0]
+        if len(parts) == 1:
+            self._send_json(200, self.service.status(cid))
+        elif parts[1:] == ["results"]:
+            self._send_json(200, self.service.results(cid))
+        elif len(parts) == 3 and parts[1] == "iterates" \
+                and parts[2].endswith(".npy"):
+            body = self.service.iterate_bytes(cid, parts[2][:-4])
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_error_json(
+                404, "not-found",
+                f"no such campaign resource {'/'.join(parts[1:])!r}")
+
+    def do_PUT(self) -> None:
+        self._send_error_json(405, "method-not-allowed",
+                              "only GET and POST are supported")
+
+    do_DELETE = do_PUT
+
+
+class ServiceDaemon:
+    """The HTTP server around a :class:`CampaignService`.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    :attr:`address` (or pass ``port_file`` to have it written out for
+    shell scripts).  ``serve_forever`` blocks until a ``/shutdown``
+    drain completes; tests use :meth:`start` / :meth:`stop` threads.
+    """
+
+    def __init__(self, service: CampaignService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True):
+        self.service = service
+        self.httpd = _ServiceHTTPServer((host, port), _Handler, service,
+                                        quiet)
+        self.httpd.begin_shutdown = self._begin_shutdown
+        self._shutdown_started = False
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _begin_shutdown(self) -> None:
+        """Called by the /shutdown handler *after* its response is
+        queued: wait out the drain off-thread, then stop accepting."""
+        with self._lock:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        threading.Thread(target=self._drain_then_stop,
+                         name="campaign-service-shutdown",
+                         daemon=True).start()
+
+    def _drain_then_stop(self) -> None:
+        self.service.start()  # a paused service must still drain
+        self.service.join()
+        self.httpd.shutdown()
+
+    def serve_forever(self) -> None:
+        """Serve until a drain completes; returns fully cleaned up."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.httpd.server_close()
+
+    def start(self) -> "ServiceDaemon":
+        """Serve on a background thread (tests / embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="campaign-service-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain and stop from the embedding side (idempotent)."""
+        self.service.drain()
+        self._begin_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():  # pragma: no cover - hung drain
+                raise RuntimeError("service daemon failed to stop in time")
+            self._thread = None

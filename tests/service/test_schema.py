@@ -1,0 +1,190 @@
+"""Wire schema: the one job type survives JSON bit-for-bit."""
+
+import json
+
+import pytest
+
+from repro.campaign.jobs import (
+    JOB_WIRE_VERSION,
+    CampaignJob,
+    WireError,
+)
+from repro.service.schema import (
+    MAX_JOBS,
+    SCHEMA_VERSION,
+    SchemaError,
+    submission_from_wire,
+    submission_to_wire,
+)
+
+
+def job(**overrides):
+    base = dict(n=8, n_peers=2, n_clusters=1, scheme="synchronous",
+                tol=1e-3)
+    base.update(overrides)
+    return CampaignJob(**base)
+
+
+# Values that tend to die in float plumbing: non-representable
+# decimals, subnormals, huge/tiny magnitudes, one-ulp neighbours.
+NASTY_FLOATS = [0.1, 0.1 + 0.2, 1e-300, 5e-324, 1.7976931348623157e308,
+                2 / 3, 1.0000000000000002]
+
+
+class TestJobWireRoundTrip:
+    def test_round_trip_is_identity(self):
+        original = job()
+        assert CampaignJob.from_wire(original.to_wire()) == original
+
+    def test_round_trip_through_actual_json(self):
+        original = job(dtype="float32", executor="process",
+                       delta=0.123456789123456789, n_paper=96, seed=3,
+                       extra=(("weights", (1.0, 2.0)),))
+        decoded = CampaignJob.from_wire(
+            json.loads(json.dumps(original.to_wire())))
+        assert decoded == original
+
+    @pytest.mark.parametrize("tol", NASTY_FLOATS)
+    def test_signature_and_cache_key_survive_the_wire(self, tol):
+        """The whole point of exact-float encoding: a job's cache key
+        is the same on both sides of the wire."""
+        from repro.campaign.cache import cache_key
+
+        original = job(tol=tol, delta=tol)
+        decoded = CampaignJob.from_wire(
+            json.loads(json.dumps(original.to_wire())))
+        assert decoded.signature() == original.signature()
+        assert cache_key(decoded.signature()) \
+            == cache_key(original.signature())
+        assert decoded.key() == original.key()
+
+    def test_extra_params_round_trip_hashable(self):
+        original = job(extra=(("weights", (0.1, 0.2, 0.7)),
+                              ("executor_workers", 2)))
+        decoded = CampaignJob.from_wire(
+            json.loads(json.dumps(original.to_wire())))
+        assert decoded == original
+        hash(decoded)  # lists must have come back as tuples
+
+    def test_plain_numbers_accepted_for_floats(self):
+        wire = job(tol=0.5).to_wire()
+        wire["tol"] = 0.5  # a hand-written client sends plain JSON
+        assert CampaignJob.from_wire(wire).tol == 0.5
+
+
+class TestJobWireValidation:
+    def test_wrong_version_rejected(self):
+        wire = job().to_wire()
+        wire["version"] = JOB_WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            CampaignJob.from_wire(wire)
+
+    def test_unknown_field_rejected(self):
+        wire = job().to_wire()
+        wire["frobnicate"] = 1
+        with pytest.raises(WireError, match="frobnicate"):
+            CampaignJob.from_wire(wire)
+
+    def test_bool_rejected_where_int_expected(self):
+        wire = job().to_wire()
+        wire["n_peers"] = True
+        with pytest.raises(WireError):
+            CampaignJob.from_wire(wire)
+
+    def test_bad_float_string_rejected(self):
+        wire = job().to_wire()
+        wire["tol"] = "not-a-float"
+        with pytest.raises(WireError):
+            CampaignJob.from_wire(wire)
+
+    def test_constructor_validation_becomes_wire_error(self):
+        wire = job().to_wire()
+        wire["scheme"] = "gauss-seidel"
+        with pytest.raises(WireError):
+            CampaignJob.from_wire(wire)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(WireError):
+            CampaignJob.from_wire([1, 2, 3])
+
+
+class TestSubmissionEnvelope:
+    def test_round_trip(self):
+        jobs = [job(n_peers=p) for p in (1, 2, 4)]
+        wire = submission_to_wire(jobs, warm_start=True, tag="t")
+        decoded = submission_from_wire(json.loads(json.dumps(wire)))
+        assert decoded.jobs == tuple(jobs)
+        assert decoded.warm_start is True
+        assert decoded.tag == "t"
+
+    def test_minimal_envelope(self):
+        decoded = submission_from_wire(
+            {"version": SCHEMA_VERSION, "jobs": [job().to_wire()]})
+        assert decoded.warm_start is False and decoded.tag is None
+
+    @pytest.mark.parametrize("payload,code", [
+        ([1], "bad-body"),
+        ({"version": 999, "jobs": []}, "bad-version"),
+        ({"version": SCHEMA_VERSION, "jobs": []}, "bad-request"),
+        ({"version": SCHEMA_VERSION, "jobs": {}}, "bad-request"),
+        ({"version": SCHEMA_VERSION, "jobs": [{}],
+          "mystery": 1}, "bad-request"),
+        ({"version": SCHEMA_VERSION, "jobs": [{"version": 1}]},
+         "bad-job"),
+    ])
+    def test_rejections_carry_structured_codes(self, payload, code):
+        with pytest.raises(SchemaError) as err:
+            submission_from_wire(payload)
+        assert err.value.code == code
+        body = err.value.payload()
+        assert body["error"]["code"] == code
+        assert body["error"]["message"]
+
+    def test_bad_job_names_its_index_and_field(self):
+        wire = job().to_wire()
+        wire["tol"] = "bogus"
+        with pytest.raises(SchemaError) as err:
+            submission_from_wire(
+                {"version": SCHEMA_VERSION,
+                 "jobs": [job().to_wire(), wire]})
+        assert err.value.field == "jobs[1].tol"
+
+    def test_too_many_jobs_rejected(self):
+        payload = {"version": SCHEMA_VERSION,
+                   "jobs": [job().to_wire()] * (MAX_JOBS + 1)}
+        with pytest.raises(SchemaError, match="limit"):
+            submission_from_wire(payload)
+
+    def test_bad_tag_and_warm_start(self):
+        base = {"version": SCHEMA_VERSION, "jobs": [job().to_wire()]}
+        with pytest.raises(SchemaError, match="warm_start"):
+            submission_from_wire({**base, "warm_start": 1})
+        with pytest.raises(SchemaError, match="tag"):
+            submission_from_wire({**base, "tag": "x" * 500})
+
+
+class TestUnifiedRunPath:
+    def test_run_configuration_equals_job_run(self):
+        """Satellite check: the kwargs front end and CampaignJob.run
+        are the same execution path, bit for bit."""
+        import numpy as np
+
+        from repro.experiments.harness import run_configuration
+
+        via_kwargs = run_configuration(
+            n=8, n_peers=2, n_clusters=1, scheme="synchronous",
+            tol=1e-3)
+        via_job = job().run()
+        assert via_kwargs.elapsed == via_job.elapsed
+        assert via_kwargs.relaxations == via_job.relaxations
+        assert np.array_equal(via_kwargs.report.u, via_job.report.u)
+
+    def test_wire_decoded_job_runs_bit_identical(self):
+        import numpy as np
+
+        original = job()
+        decoded = CampaignJob.from_wire(
+            json.loads(json.dumps(original.to_wire())))
+        a, b = original.run(), decoded.run()
+        assert a.elapsed == b.elapsed
+        assert np.array_equal(a.report.u, b.report.u)
