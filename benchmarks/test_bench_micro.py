@@ -185,6 +185,31 @@ def test_bench_jacobi_sweep_fused_float32(benchmark):
     assert np.isfinite(diff)
 
 
+def test_bench_jacobi_sweep_telemetry_off(benchmark):
+    """The fused Jacobi sweep with telemetry fully disabled
+    (``REPRO_TELEMETRY=off`` at workspace bake, where the kernel probe
+    is resolved).  Paired with ``test_bench_jacobi_sweep_fused`` (which
+    runs with the default-on counters) this measures the telemetry
+    overhead ratio recorded as ``telemetry_overhead`` in
+    ``BENCH_micro.json`` — gated at <= 3% by ``run_bench.py --check``."""
+    problem = membrane_problem(SWEEP_N)
+    prior = os.environ.get("REPRO_TELEMETRY")
+    os.environ["REPRO_TELEMETRY"] = "off"
+    try:
+        ws = SweepWorkspace(problem, problem.jacobi_delta())
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_TELEMETRY", None)
+        else:
+            os.environ["REPRO_TELEMETRY"] = prior
+    assert ws._tele is None  # the disabled path really is probe-free
+    u = problem.feasible_start()
+    u_next = ws.rotation_buffer()
+
+    diff = benchmark(jacobi_sweep, ws, u, u_next)
+    assert np.isfinite(diff)
+
+
 def test_bench_gauss_seidel_sweep_reference(benchmark):
     """Seed-style plane-by-plane Gauss–Seidel sweep (baseline)."""
     problem = membrane_problem(SWEEP_N)

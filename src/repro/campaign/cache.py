@@ -46,10 +46,13 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
 import numpy as np
+
+from ..telemetry import MetricsRegistry
 
 try:
     import fcntl
@@ -88,10 +91,56 @@ class ResultCache:
         self.max_memory_entries = max_memory_entries
         self.max_disk_bytes = max_disk_bytes
         self._memory: dict[str, Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
+        # Counters are registry-backed: each cache instance owns a
+        # private MetricsRegistry (per-instance stats stay exact even
+        # when several caches coexist in one context) whose snapshot the
+        # owner — driver worker, campaign, service — merges into its own
+        # telemetry for /metrics and --telemetry-json exposure.
+        self._registry = MetricsRegistry()
+        self._m_hits = self._registry.counter("repro_cache_hits_total")
+        self._m_misses = self._registry.counter("repro_cache_misses_total")
+        self._m_stores = self._registry.counter("repro_cache_stores_total")
+        self._m_evictions = self._registry.counter(
+            "repro_cache_evictions_total")
+        self._m_lock_wait = self._registry.counter(
+            "repro_cache_lock_wait_seconds_total")
+        self._m_load = {
+            outcome: self._registry.histogram(
+                "repro_cache_load_seconds", outcome=outcome)
+            for outcome in ("hit", "miss")}
+        self._m_store_s = self._registry.histogram(
+            "repro_cache_store_seconds")
+        self._m_evict_s = self._registry.histogram(
+            "repro_cache_evict_seconds")
+
+    # -- counters (registry-backed, kept as read properties for the
+    # -- historical ``cache.hits`` introspection surface) ----------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def stores(self) -> int:
+        return int(self._m_stores.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
+
+    @property
+    def lock_wait_seconds(self) -> float:
+        """Cumulative seconds spent *waiting* for the directory flock —
+        the direct measure of disk-lock contention between drivers."""
+        return self._m_lock_wait.value
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """This cache's metrics as a mergeable telemetry snapshot."""
+        return self._registry.snapshot()
 
     # -- lookup -----------------------------------------------------------------
 
@@ -100,12 +149,15 @@ class ResultCache:
         """Advisory exclusive lock over this cache directory's disk
         state (no-op when memory-only or ``fcntl`` is unavailable).
         Serializes the compound mutations — store + LRU eviction scan,
-        clear — across processes and threads sharing the directory."""
+        clear — across processes and threads sharing the directory.
+        Acquisition wait time is accumulated in ``lock_wait_seconds``."""
         if self.root is None or fcntl is None:
             yield
             return
         with open(self.root / ".cache.lock", "a+b") as fh:
+            t_start = time.perf_counter()
             fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            self._m_lock_wait.inc(time.perf_counter() - t_start)
             try:
                 yield
             finally:
@@ -113,6 +165,7 @@ class ResultCache:
 
     def load(self, key: str):
         """The cached RunResult for ``key``, or None (counted)."""
+        t_start = time.perf_counter()
         result = self._memory.get(key)
         if result is None and self.root is not None:
             with self._disk_lock():
@@ -125,20 +178,24 @@ class ResultCache:
             with self._disk_lock():
                 self._touch(key)
         if result is None:
-            self.misses += 1
+            self._m_misses.inc()
+            self._m_load["miss"].observe(time.perf_counter() - t_start)
             return None
-        self.hits += 1
+        self._m_hits.inc()
+        self._m_load["hit"].observe(time.perf_counter() - t_start)
         return result
 
     def store(self, key: str, result,
               signature: Optional[dict[str, Any]] = None) -> None:
         """Record ``result`` under ``key`` (memory + disk when rooted)."""
+        t_start = time.perf_counter()
         self._remember(key, result)
-        self.stores += 1
+        self._m_stores.inc()
         if self.root is not None:
             with self._disk_lock():
                 self._store_disk(key, result, signature)
                 self._enforce_disk_budget(just_stored=key)
+        self._m_store_s.observe(time.perf_counter() - t_start)
 
     def has_memory(self, key: str) -> bool:
         """Whether ``key`` is resident in the in-memory layer (no disk
@@ -149,16 +206,19 @@ class ResultCache:
         """Snapshot of this instance's lifetime counters.
 
         ``hit_rate`` is hits / (hits + misses), 0.0 before any lookup.
+        ``lock_wait_seconds`` is cumulative flock acquisition wait.
         Counters are per-instance (process-local): a shared rooted
         directory has one set of counters per driver touching it.
         """
-        lookups = self.hits + self.misses
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
+            "hits": hits,
+            "misses": misses,
             "stores": self.stores,
             "evictions": self.evictions,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "lock_wait_seconds": self.lock_wait_seconds,
         }
 
     def clear(self) -> None:
@@ -242,17 +302,21 @@ class ResultCache:
         if total <= self.max_disk_bytes:
             return
         entries.sort()
-        for _mtime, key, size in entries:
-            if key == just_stored:
-                continue
-            npy, meta_path = self._paths(key)
-            npy.unlink(missing_ok=True)
-            meta_path.unlink(missing_ok=True)
-            self._memory.pop(key, None)
-            self.evictions += 1
-            total -= size
-            if total <= self.max_disk_bytes:
-                return
+        t_start = time.perf_counter()
+        try:
+            for _mtime, key, size in entries:
+                if key == just_stored:
+                    continue
+                npy, meta_path = self._paths(key)
+                npy.unlink(missing_ok=True)
+                meta_path.unlink(missing_ok=True)
+                self._memory.pop(key, None)
+                self._m_evictions.inc()
+                total -= size
+                if total <= self.max_disk_bytes:
+                    return
+        finally:
+            self._m_evict_s.observe(time.perf_counter() - t_start)
 
     def _store_disk(self, key: str, result, signature) -> None:
         from ..experiments.harness import RunResult

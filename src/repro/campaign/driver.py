@@ -73,6 +73,7 @@ def _worker_main(conn, index: int, spec: Optional[dict],
     # the whole solver stack into *every* interpreter that merely
     # imports repro.campaign.driver.
     from ..resources import ResourceContext
+    from ..telemetry import merge_snapshots
     from .cache import ResultCache
     from .engine import _execute_chunk, _release_leases
     from .pool import WorkspacePool
@@ -83,6 +84,16 @@ def _worker_main(conn, index: int, spec: Optional[dict],
     cache = ResultCache(**spec) if spec is not None else None
     leases: dict = {}
     branches_done = 0
+
+    def _telemetry_snapshot():
+        """This worker's mergeable view: context telemetry (kernels,
+        DES, runners — incl. ShardPool workers folded in at lease
+        release) plus the private cache registry."""
+        snap = resources.telemetry.snapshot()
+        if cache is not None:
+            snap = merge_snapshots(snap, cache.telemetry_snapshot())
+        return snap
+
     try:
         conn.send(("ready", index))
         while True:
@@ -104,6 +115,7 @@ def _worker_main(conn, index: int, spec: Optional[dict],
                 snapshot = {
                     "branches": branches_done,
                     "cache": cache.stats() if cache is not None else None,
+                    "telemetry": _telemetry_snapshot(),
                 }
                 conn.send(("done", branch_index, records, snapshot))
             except Exception:  # surface the traceback, don't die silently
@@ -114,6 +126,13 @@ def _worker_main(conn, index: int, spec: Optional[dict],
         try:
             _release_leases(leases, resources)
         except Exception:  # pragma: no cover - defensive teardown
+            pass
+        # Final telemetry rides the close handshake: lease release just
+        # folded the ShardPool workers' counters into this context, so
+        # this snapshot — unlike the per-branch ones — is complete.
+        try:
+            conn.send(("closed", _telemetry_snapshot()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
             pass
         conn.close()
 
@@ -152,6 +171,11 @@ class DriverPool:
         self._pending: list[tuple[int, list]] = []
         self._pending_errors: list["DriverBranchError"] = []
         self._snapshots: list[Optional[dict]] = [None] * drivers
+        # Latest telemetry snapshot per worker.  Updated from every
+        # "done" message and finalized by the close handshake; a crashed
+        # worker keeps its last piggybacked snapshot instead of losing
+        # everything it reported while alive.
+        self._telemetry: list[Optional[dict]] = [None] * drivers
         method = _start_method(start_method)
         self._ctx = multiprocessing.get_context(method)
         for w in range(drivers):
@@ -265,6 +289,9 @@ class DriverPool:
                 ))
                 continue
             self._snapshots[w] = msg[3]
+            tele = msg[3].get("telemetry")
+            if tele is not None:
+                self._telemetry[w] = tele
             self._idle.append(w)
             completed.append((ticket, msg[2]))
         if self._pending_errors:
@@ -280,6 +307,13 @@ class DriverPool:
             None if snap is None else snap.get("cache")
             for snap in self._snapshots
         ]
+
+    def telemetry_snapshots(self) -> list[Optional[dict]]:
+        """Latest per-worker telemetry snapshots (None until a worker
+        has completed a branch).  After :meth:`close` these are the
+        final close-handshake snapshots — complete through ShardPool
+        teardown; a crashed worker retains its last in-flight one."""
+        return list(self._telemetry)
 
     def utilization(self) -> dict:
         """Pool occupancy + per-worker branch counts, for /stats."""
@@ -335,6 +369,23 @@ class DriverPool:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
+        # Harvest the final telemetry handshake.  The worker sends
+        # ("closed", snapshot) after releasing its runner leases, so
+        # this snapshot includes ShardPool-worker counters merged at
+        # teardown; stale "done"/"error" replies from an unclean drain
+        # are skipped (their telemetry was already captured in wait()
+        # or is superseded by the final snapshot).  A dead or hung
+        # worker simply keeps its last piggybacked snapshot.
+        for w, conn in enumerate(self._conns):
+            try:
+                while conn.poll(timeout):
+                    msg = conn.recv()
+                    if msg[0] == "closed":
+                        if msg[1] is not None:
+                            self._telemetry[w] = msg[1]
+                        break
+            except (EOFError, BrokenPipeError, OSError):
+                continue
         for proc in self._procs:
             proc.join(timeout=timeout)
             if proc.is_alive():  # pragma: no cover - hung worker

@@ -55,6 +55,15 @@ makes this safe:
   its delta underneath the other's live solve — the registry's
   single-holder rebind rule makes per-driver ownership a hard
   invariant, not a convention.
+- **Telemetry registries follow the same ownership.**  Each context
+  carries its own :class:`~repro.telemetry.Telemetry` registry; driver
+  workers (and ShardPool workers under them) report by shipping
+  *snapshots* up the existing pipes — piggybacked on branch
+  completions and finalized on the close handshake — which the parent
+  merges (:meth:`Campaign.telemetry_snapshot`).  Nothing telemetric is
+  ever written into modeled state: no parameter dict, cache key, wire
+  payload, or DES clock reads or carries a metric, which is why solves
+  are bit-identical with telemetry on or off.
 - **What drivers *do* share is results, not resources**: the disk layer
   of a rooted :class:`ResultCache` (content-addressed, atomic-rename
   writes, advisory-flock eviction) is the one cross-driver channel, and
@@ -370,6 +379,9 @@ class Campaign:
             self.workspace_pool = None
         self._leases: dict[tuple, object] = {}
         self._driver_pool = None
+        # Final driver telemetry, captured at close() so a snapshot
+        # taken after teardown still covers the workers' lifetimes.
+        self._driver_telemetry: list = []
         self._closed = False
 
     # -- planning ----------------------------------------------------------------
@@ -495,9 +507,36 @@ class Campaign:
                     continue
                 for counter in ("hits", "misses", "stores", "evictions"):
                     stats[counter] += snapshot.get(counter, 0)
+                stats["lock_wait_seconds"] += snapshot.get(
+                    "lock_wait_seconds", 0.0)
         lookups = stats["hits"] + stats["misses"]
         stats["hit_rate"] = stats["hits"] / lookups if lookups else 0.0
         return stats
+
+    def telemetry_snapshot(self) -> dict:
+        """One mergeable telemetry snapshot for the whole campaign.
+
+        Registry ownership follows the resource-context rules above:
+        the campaign's own context registry covers the sequential path
+        (kernels, DES, runners), the cache's *private* registry covers
+        this process's cache instance, and each driver worker's
+        snapshot — piggybacked on branch completions and finalized by
+        the close handshake — covers that worker's context plus its
+        rebuilt cache.  The merge is associative and commutative
+        (counters sum, gauges max, histogram cells add), so the result
+        is independent of driver completion order.
+        """
+        from ..telemetry import merge_snapshots
+
+        parts = [self.resources.telemetry.snapshot()]
+        if self.cache is not None:
+            parts.append(self.cache.telemetry_snapshot())
+        if self._driver_pool is not None:
+            driver_snaps = self._driver_pool.telemetry_snapshots()
+        else:
+            driver_snaps = self._driver_telemetry
+        parts.extend(s for s in driver_snaps if s is not None)
+        return merge_snapshots(*parts)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -516,6 +555,7 @@ class Campaign:
         if self._driver_pool is not None:
             pool, self._driver_pool = self._driver_pool, None
             pool.close()
+            self._driver_telemetry = pool.telemetry_snapshots()
 
     def __enter__(self) -> "Campaign":
         return self

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments replay <trace.npz> [--executor E]
     python -m repro.experiments serve [--port P] [--cache-dir D] [...]
     python -m repro.experiments submit --url URL [matrix options]
+    python -m repro.experiments timeline <dump.json> [--width W]
 
 Every target is a real argparse subcommand; the recurring flag groups
 (problem matrix, dtype/executor, result cache, drivers) are shared
@@ -37,6 +38,13 @@ when fewer than K jobs were served from cache — the CI smoke job uses
 it to assert that a second pass actually hits.  ``--drivers N`` runs
 independent campaign branches in N driver worker processes sharing the
 disk cache; records stay bit-identical to the sequential engine.
+
+``campaign``, ``scenario`` and ``serve`` accept ``--telemetry-json
+PATH``: on exit they write the run's merged telemetry snapshot (see
+:mod:`repro.telemetry`) as JSON — counters, histograms, and, when
+``REPRO_TELEMETRY=spans`` is set, the span ring buffer.  ``timeline``
+renders such a dump as a per-peer span timeline (solve → iteration →
+sweep → ghost-exchange) for profiling without any external tooling.
 
 ``serve`` starts the campaign service daemon (:mod:`repro.service`):
 a long-lived HTTP front door over one persistent result cache and
@@ -111,6 +119,18 @@ def _build_cache(args):
     return ResultCache(args.cache_dir, max_disk_bytes=budget)
 
 
+def _dump_telemetry(path: str, snapshot: dict) -> None:
+    """Write a merged telemetry snapshot as JSON (``--telemetry-json``)."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=1)
+    spans = len(snapshot.get("spans", []))
+    print(f"telemetry snapshot -> {path} "
+          f"({len(snapshot.get('counters', {}))} counter(s), "
+          f"{spans} span(s))", flush=True)
+
+
 def _matrix_jobs(args):
     """The job list the matrix flag group describes — one builder for
     ``campaign`` (local engine) and ``submit`` (HTTP), so both sides
@@ -183,6 +203,11 @@ def cmd_campaign(args) -> int:
               f"{cache_stats['stores']} stores, "
               f"{cache_stats['evictions']} evictions "
               f"(hit rate {cache_stats['hit_rate']:.0%})")
+    if args.telemetry_json:
+        # After close(): the snapshot then includes the final
+        # close-handshake telemetry of every driver worker.
+        _dump_telemetry(args.telemetry_json,
+                        campaign.telemetry_snapshot())
     if args.min_cache_hits and outcome.cache_hits < args.min_cache_hits:
         print(f"FAIL: expected >= {args.min_cache_hits} cache hits, "
               f"got {outcome.cache_hits}")
@@ -214,6 +239,9 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("\ndraining ...", flush=True)
         service.close()
+    if args.telemetry_json:
+        _dump_telemetry(args.telemetry_json,
+                        service.telemetry_snapshot())
     print("campaign service stopped", flush=True)
     return 0
 
@@ -268,7 +296,24 @@ def cmd_scenario(args) -> int:
     )
     result = run_scenario(script, dump_dir=args.dump_dir)
     print(result.summary())
+    if args.telemetry_json:
+        # Scenarios execute against the process-default context.
+        from ..resources import default_context
+
+        _dump_telemetry(args.telemetry_json,
+                        default_context().telemetry.snapshot())
     return 0 if result.ok else 1
+
+
+def cmd_timeline(args) -> int:
+    import json
+
+    from ..telemetry import render_timeline
+
+    with open(args.path) as fh:
+        snapshot = json.load(fh)
+    print(render_timeline(snapshot, width=args.width))
+    return 0
 
 
 def cmd_replay(args) -> int:
@@ -359,7 +404,13 @@ def _flag_parents():
                               "parallel (default 1 = sequential "
                               "in-process; results are bit-identical "
                               "either way)")
-    return alphas, full, matrix, solver, cache, drivers
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry-json", metavar="PATH", default=None,
+        help="write the run's merged telemetry snapshot here as JSON "
+             "on exit (set REPRO_TELEMETRY=spans to include the span "
+             "buffer; render with the `timeline` subcommand)")
+    return alphas, full, matrix, solver, cache, drivers, telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -368,7 +419,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's tables and figures, run "
                     "campaigns, or serve them over HTTP.",
     )
-    alphas, full, matrix, solver, cache, drivers = _flag_parents()
+    alphas, full, matrix, solver, cache, drivers, telemetry = \
+        _flag_parents()
     sub = parser.add_subparsers(dest="target", required=True,
                                 metavar="target")
     sub.add_parser("table1", parents=[alphas, full],
@@ -382,14 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign", parents=[alphas, full, matrix, solver, cache,
-                             drivers],
+                             drivers, telemetry],
         help="run a job matrix through the batched campaign engine")
     campaign.add_argument("--min-cache-hits", type=int, default=0,
                           help="exit 1 when fewer jobs were served from "
                                "the cache (CI smoke assertion)")
 
     serve = sub.add_parser(
-        "serve", parents=[cache, drivers],
+        "serve", parents=[cache, drivers, telemetry],
         help="start the campaign service daemon (HTTP front door)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765,
@@ -423,7 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="POST /shutdown once results are fetched")
 
     scenario = sub.add_parser(
-        "scenario",
+        "scenario", parents=[telemetry],
         help="run one seeded fault-injection scenario")
     scenario.add_argument("--seed", type=int, default=0,
                           help="scenario seed (the script is a pure "
@@ -445,6 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("path", help="trace file (.npz)")
     replay.add_argument("--executor", default="inline",
                         choices=["inline", "process"])
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="render a --telemetry-json dump as a per-peer span "
+             "timeline")
+    timeline.add_argument("path", help="telemetry dump (.json)")
+    timeline.add_argument("--width", type=int, default=72,
+                          help="timeline lane width in characters")
     return parser
 
 
@@ -470,6 +530,8 @@ def main(argv=None) -> int:
         return cmd_scenario(args)
     if args.target == "replay":
         return cmd_replay(args)
+    if args.target == "timeline":
+        return cmd_timeline(args)
     if args.target == "campaign":
         return cmd_campaign(args)
     if args.target == "serve":

@@ -28,6 +28,7 @@ from typing import Any, Optional
 
 from ..core.environment import P2PDC
 from ..p2psap.context import Scheme
+from ..resources import resolve_context
 from ..simnet.oedl import ExperimentDescription
 from ..simnet.topology import NICTA_SPEC, TestbedSpec
 from ..solvers.distributed_richardson import (
@@ -176,10 +177,22 @@ def run_job(
             params["warm_start_label"] = warm_start_label
     if job.extra:
         params.update(job.extra_params)
-    run = env.run_to_completion(
-        "obstacle", params=params, n_peers=n_peers, scheme=scheme,
-        timeout=timeout,
-    )
+    # Telemetry rides the same out-of-band channel as ``resources``: a
+    # solve span plus post-run DES counter export.  Nothing here touches
+    # params or the simulator, so instrumented runs stay bit-identical.
+    tele = resolve_context(resources).telemetry
+    sim = deployment.sim
+    with tele.span("solve", n=n, peers=n_peers, clusters=job.n_clusters,
+                   scheme=scheme.value, executor=job.executor):
+        run = env.run_to_completion(
+            "obstacle", params=params, n_peers=n_peers, scheme=scheme,
+            timeout=timeout,
+        )
+    if tele.enabled:
+        tele.counter("repro_solves_total", scheme=scheme.value).inc()
+        tele.counter("repro_des_events_total").inc(sim.events_processed)
+        tele.counter("repro_des_put_wakeups_total").inc(sim.put_wakeups)
+        tele.gauge("repro_des_queue_depth_max").set_max(sim.max_queue_depth)
     report: DistributedSolveReport = run.output
     return RunResult(
         n=n,

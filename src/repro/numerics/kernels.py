@@ -107,6 +107,33 @@ _SLAB_ENV = "REPRO_SLAB_BYTES"
 #: where larger slabs mean fewer slab-boundary passes).
 _SLAB_CANDIDATES = (1 << 20, 1 << 21)
 
+
+class _KernelProbe:
+    """Pre-resolved telemetry handles for the sweep hot path.
+
+    Built once per workspace (when the owning context's telemetry is
+    enabled) so a sweep pays two perf-counter reads plus one counter and
+    one histogram update — no name/label resolution per call.  The
+    overhead of this default-on path is gated at ≤3% by the
+    ``telemetry_overhead`` section of ``BENCH_micro.json``.
+    """
+
+    __slots__ = ("sweeps", "seconds", "rebinds")
+
+    def __init__(self, telemetry):
+        self.sweeps = {
+            order: telemetry.counter("repro_kernel_sweeps_total", order=order)
+            for order in ("jacobi", "gauss_seidel")}
+        self.seconds = {
+            order: telemetry.histogram("repro_kernel_sweep_seconds",
+                                       order=order)
+            for order in ("jacobi", "gauss_seidel")}
+        self.rebinds = telemetry.counter("repro_workspace_rebinds_total")
+
+    def sweep_done(self, order, elapsed):
+        self.sweeps[order].inc()
+        self.seconds[order].observe(elapsed)
+
 def _slab_target_bytes(resources=None) -> int:
     """The slab working-set target, honoring ``REPRO_SLAB_BYTES``.
 
@@ -261,6 +288,8 @@ class SweepWorkspace:
         self.n = n
         m = hi - lo
         self.n_planes = m
+        tele = resolve_context(resources).telemetry
+        self._tele = _KernelProbe(tele) if tele.enabled else None
         self._bake(problem, delta)
 
         self.slab = slab if slab is not None else \
@@ -317,6 +346,8 @@ class SweepWorkspace:
             )
         if delta <= 0:
             raise ValueError("delta must be positive")
+        if self._tele is not None:
+            self._tele.rebinds.inc()
         self._bake(problem, delta)
 
     def _as_dtype(self, field: np.ndarray) -> np.ndarray:
@@ -394,6 +425,8 @@ def jacobi_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
     the planes just outside ``[lo, hi)`` (``None`` = zero Dirichlet).
     """
     _check_buffers(ws, cur, nxt, ghost_below, ghost_above)
+    probe = ws._tele
+    t_start = time.perf_counter() if probe is not None else 0.0
     m_total = ws.n_planes
     n = ws.n
     d = ws.d
@@ -451,6 +484,8 @@ def jacobi_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
             diff = hi_d
         if -lo_d > diff:
             diff = -lo_d
+    if probe is not None:
+        probe.sweep_done("jacobi", time.perf_counter() - t_start)
     return diff
 
 
@@ -465,6 +500,8 @@ def gauss_seidel_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
     dispatch-per-plane recursion; the diff is one fused pass at the end.
     """
     _check_buffers(ws, cur, nxt, ghost_below, ghost_above)
+    probe = ws._tele
+    t_start = time.perf_counter() if probe is not None else 0.0
     m_total = ws.n_planes
     n = ws.n
     d = ws.d
@@ -517,7 +554,10 @@ def gauss_seidel_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,
             np.minimum(nz, ups[z], out=nz)
         below = nz
     np.subtract(nxt, cur, out=stage)
-    return max(float(stage.max()), -float(stage.min()))
+    diff = max(float(stage.max()), -float(stage.min()))
+    if probe is not None:
+        probe.sweep_done("gauss_seidel", time.perf_counter() - t_start)
+    return diff
 
 
 def block_sweep(ws: SweepWorkspace, cur: np.ndarray, nxt: np.ndarray,

@@ -60,12 +60,18 @@ def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
         block_sweep,
         seed_slab_autotune,
     )
+    from ..resources import default_context
     from ..solvers.distributed_richardson import get_problem
 
     # The creator's slab-tuning verdict rides the spawn args: workers
     # must never burn their startup on re-measuring candidates (under
     # spawn/forkserver the cached module state is not inherited).
     seed_slab_autotune(slab_bytes)
+    # Under fork the child inherits the parent's already-populated
+    # telemetry; a worker must report only its own work (the parent
+    # merges worker snapshots back in, so inherited counts would double).
+    telemetry = default_context().telemetry
+    telemetry.reset()
     arena = SharedPlaneArena.attach(arena_spec, untrack=untrack)
     try:
         problem = get_problem(problem_kind, arena.n)
@@ -80,6 +86,13 @@ def _worker_main(conn, arena_spec: ArenaSpec, problem_kind: str,
         while True:
             cmd = conn.recv()
             if cmd[0] == "close":
+                # Final telemetry snapshot rides the close handshake —
+                # the only reply the parent waits for at teardown, so
+                # the sweep hot path never carries snapshot payloads.
+                try:
+                    conn.send(("closing", telemetry.snapshot()))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
                 break
             if cmd[0] == "ping":
                 conn.send(("pong",))
@@ -134,6 +147,11 @@ class ShardPool:
         self._conns = []
         self._procs = []
         self._stash: list[dict[int, float]] = []
+        self._resources = resources
+        #: Per-worker telemetry snapshots harvested at close — kept on
+        #: the pool (not just merged) so tests and crashed-worker paths
+        #: can see exactly what was shipped.
+        self.telemetry_snapshots: dict[int, dict] = {}
         n_shards = arena.n_shards
         if n_workers is None:
             n_workers = min(n_shards, os.cpu_count() or 1)
@@ -256,6 +274,7 @@ class ShardPool:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
+        self._harvest_telemetry(timeout)
         for proc in self._procs:
             proc.join(timeout=timeout)
             if proc.is_alive():  # pragma: no cover - hung worker
@@ -263,6 +282,27 @@ class ShardPool:
                 proc.join(timeout=timeout)
         for conn in self._conns:
             conn.close()
+
+    def _harvest_telemetry(self, timeout: float) -> None:
+        """Collect each worker's ``("closing", snapshot)`` reply and fold
+        it into the owning context's telemetry.  Best-effort: a dead or
+        hung worker just contributes nothing — already-harvested
+        snapshots are never lost."""
+        from ..resources import resolve_context
+
+        telemetry = resolve_context(self._resources).telemetry
+        for w, conn in enumerate(self._conns):
+            try:
+                while conn.poll(timeout):
+                    msg = conn.recv()
+                    if msg[0] == "closing":
+                        self.telemetry_snapshots[w] = msg[1]
+                        break
+                    # stale sweep/pong replies discarded at teardown
+            except (EOFError, BrokenPipeError, OSError):
+                continue
+        for snap in self.telemetry_snapshots.values():
+            telemetry.merge(snap)
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:

@@ -27,6 +27,7 @@ the shared memory.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -74,6 +75,17 @@ class ParallelBlockRunner:
         self.n_shards = self.arena.n_shards
         self._flip = [0] * self.n_shards
         self._pending: set[int] = set()
+        # Telemetry handles (arena traffic + in-flight occupancy),
+        # pre-resolved once against the owning context.  Observation
+        # only: nothing below reads these back into sweep scheduling.
+        tele = resolve_context(resources).telemetry
+        self._tele = tele if tele.enabled else None
+        if self._tele is not None:
+            self._m_scatter = tele.histogram("repro_arena_scatter_seconds")
+            self._m_gather = tele.histogram("repro_arena_gather_seconds")
+            self._m_submitted = tele.counter("repro_sweeps_submitted_total")
+            self._m_wait = tele.histogram("repro_sweep_wait_seconds")
+            self._m_inflight = tele.gauge("repro_sweeps_in_flight_max")
         # Optional human-readable owner labels ("rank 2 (peer02)"), so
         # in-flight-at-close errors name the peer, not just the shard.
         self._shard_labels: dict[int, str] = {}
@@ -174,8 +186,11 @@ class ParallelBlockRunner:
             out = np.empty((self.n, self.n, self.n), dtype=self.dtype)
         else:
             check_dtype(out, self.dtype, "gather output")
+        t_start = perf_counter() if self._tele is not None else 0.0
         for k, (lo, hi) in enumerate(self.arena.ranges):
             np.copyto(out[lo:hi], self.block(k))
+        if self._tele is not None:
+            self._m_gather.observe(perf_counter() - t_start)
         return out
 
     def scatter(self, u: np.ndarray) -> None:
@@ -183,12 +198,15 @@ class ParallelBlockRunner:
         if u.shape != (self.n, self.n, self.n):
             raise ValueError(f"expected {(self.n,) * 3}, got {u.shape}")
         check_dtype(u, self.dtype, "scattered iterate")
+        t_start = perf_counter() if self._tele is not None else 0.0
         for k, (lo, hi) in enumerate(self.arena.ranges):
             np.copyto(self.block(k), u[lo:hi])
             if lo > 0:
                 np.copyto(self.arena.ghost_below(k), u[lo - 1])
             if hi < self.n:
                 np.copyto(self.arena.ghost_above(k), u[hi])
+        if self._tele is not None:
+            self._m_scatter.observe(perf_counter() - t_start)
 
     def exchange_ghosts(self) -> None:
         """Zero-latency synchronous boundary exchange between shards."""
@@ -209,6 +227,9 @@ class ParallelBlockRunner:
         if shard in self._pending:
             raise RuntimeError(f"shard {shard} already has a sweep in flight")
         self._pending.add(shard)
+        if self._tele is not None:
+            self._m_submitted.inc()
+            self._m_inflight.set_max(len(self._pending))
         self.pool.submit(shard, self._flip[shard], order or self.order)
 
     def wait_sweep(self, shard: int) -> float:
@@ -220,6 +241,7 @@ class ParallelBlockRunner:
                 f"no sweep in flight for shard {shard} (double collect, "
                 "or submit_sweep was never called)"
             )
+        t_start = perf_counter() if self._tele is not None else 0.0
         try:
             diff = self.pool.collect(shard)
         finally:
@@ -229,6 +251,8 @@ class ParallelBlockRunner:
             # complain about) a sweep that no longer exists.
             self._pending.discard(shard)
         self._flip[shard] ^= 1
+        if self._tele is not None:
+            self._m_wait.observe(perf_counter() - t_start)
         return diff
 
     def sweep(self, shard: int, order: Optional[str] = None) -> float:

@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from repro.telemetry import Telemetry
+
 __all__ = ["ResourceContext", "default_context", "resolve_context"]
 
 
@@ -57,6 +59,11 @@ class ResourceContext:
         :func:`repro.parallel.runner.acquire_shared_runner` — key →
         ``[runner, refcount]`` plus the reverse ``id(runner) -> key``
         map.
+    ``telemetry``
+        The owner's :class:`repro.telemetry.Telemetry` (metrics registry
+        + span buffer).  Same ownership rule as the pools: handles never
+        cross process boundaries — worker processes reset theirs at
+        startup and ship snapshots back for the parent to merge.
     """
 
     def __init__(self, name: str = "context") -> None:
@@ -67,6 +74,7 @@ class ResourceContext:
         self.runner_lock = threading.Lock()
         self.runners: dict = {}
         self.runner_keys: dict = {}
+        self.telemetry = Telemetry(name=f"{self.name}-telemetry")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResourceContext({self.name!r}, "

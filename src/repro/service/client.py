@@ -70,9 +70,11 @@ class ServiceClient:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
                 raw = response.read()
-                if response.headers.get_content_type() \
-                        == "application/octet-stream":
+                content_type = response.headers.get_content_type()
+                if content_type == "application/octet-stream":
                     return raw
+                if content_type == "text/plain":  # /metrics exposition
+                    return raw.decode("utf-8")
                 return json.loads(raw)
         except urllib.error.HTTPError as exc:
             raw = exc.read()
@@ -121,6 +123,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """``GET /stats``."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition."""
+        return self._request("GET", "/metrics")
 
     def shutdown(self) -> dict:
         """``POST /shutdown``: ask the daemon to drain and exit."""

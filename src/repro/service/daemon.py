@@ -43,7 +43,18 @@ Endpoints (see :mod:`repro.service.schema` for the wire format)::
     GET  /campaigns/<id>/iterates/<cache_key>.npy
                                          the solution iterate, bit-exact
     GET  /stats                          cache/pool/queue counters
+    GET  /metrics                        Prometheus text exposition
     POST /shutdown                       drain accepted work, then exit
+
+Telemetry registry ownership mirrors the resource-context rules: the
+service's private context carries the registry for everything it does
+in-process (scheduler counters, branch queue-wait histogram, inline
+cache serves), the cache instance keeps its own private registry, and
+each driver worker ships snapshots back piggybacked on branch
+completions.  ``/metrics`` and :meth:`CampaignService.telemetry_snapshot`
+merge all of them on demand — reading metrics never touches modeled
+state, so a scraped daemon produces bit-identical records to an
+unscraped one.
 """
 
 from __future__ import annotations
@@ -92,7 +103,7 @@ class _Branch:
     """One schedulable unit: a whole warm-start chain of one campaign."""
 
     __slots__ = ("tasks", "status", "records", "driver", "error",
-                 "owned_keys")
+                 "owned_keys", "enqueued_at")
 
     def __init__(self, tasks: list):
         self.tasks = tasks
@@ -103,6 +114,9 @@ class _Branch:
         #: Cache keys this branch claimed at admission (first claimant
         #: wins); released when the branch leaves the running set.
         self.owned_keys: tuple[str, ...] = ()
+        #: perf-counter stamp taken at admission; the queue-wait
+        #: histogram observes dispatch_time - enqueued_at.
+        self.enqueued_at: float = 0.0
 
     @property
     def cache_keys(self) -> list[str]:
@@ -183,8 +197,24 @@ class CampaignService:
         # in-process.  Never the process default: a service must be
         # embeddable next to unrelated solves without sharing pools.
         self._resources = ResourceContext(name="service")
+        # Scheduler metrics live in the service context's registry (the
+        # handles are resolved once; observing is a locked add).  These
+        # are recorded unconditionally — per-branch frequency, not a
+        # solver hot path.
+        tele = self._resources.telemetry
+        self._m_submissions = tele.counter("repro_service_submissions_total")
+        self._m_inline = tele.counter(
+            "repro_service_branches_total", mode="inline")
+        self._m_dispatched = tele.counter(
+            "repro_service_branches_total", mode="driver")
+        self._m_failed = tele.counter("repro_service_branches_failed_total")
+        self._m_queue_wait = tele.histogram(
+            "repro_branch_queue_wait_seconds")
         self._leases: dict = {}
         self._pool: Optional[DriverPool] = None
+        # Final driver telemetry, captured when the scheduler tears the
+        # pool down, so /metrics after a drain still covers the workers.
+        self._driver_telemetry: list = []
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._campaigns: dict[str, _CampaignState] = {}
@@ -268,7 +298,10 @@ class CampaignService:
             state = _CampaignState(cid, submission, plan, ckeys,
                                    signatures, branches)
             self._campaigns[cid] = state
+            self._m_submissions.inc()
+            now = time.perf_counter()
             for index, branch in enumerate(branches):
+                branch.enqueued_at = now
                 # First claimant owns a key; a branch sharing keys with
                 # in-flight work defers at dispatch until the owner is
                 # done, then is served from the cache.
@@ -323,6 +356,7 @@ class CampaignService:
         branch = self._campaigns[cid].branches[index]
         branch.status = "failed"
         branch.error = error
+        self._m_failed.inc()
         self._release(cid, index)
 
     def _dispatch_locked(self) -> None:
@@ -335,6 +369,9 @@ class CampaignService:
                 remaining.append((cid, index))
                 continue
             if self._branch_cached(branch):
+                self._m_queue_wait.observe(
+                    time.perf_counter() - branch.enqueued_at)
+                self._m_inline.inc()
                 branch.status = "running"
                 try:
                     records = _execute_chunk(
@@ -351,6 +388,9 @@ class CampaignService:
             if pool.idle == 0:
                 remaining.append((cid, index))
                 continue
+            self._m_queue_wait.observe(
+                time.perf_counter() - branch.enqueued_at)
+            self._m_dispatched.inc()
             branch.status = "running"
             ticket = pool.submit(branch.tasks)
             branch.driver = self._active_driver_of(ticket)
@@ -411,6 +451,8 @@ class CampaignService:
                 pool, self._pool = self._pool, None
             if pool is not None:
                 pool.close()
+                with self._lock:
+                    self._driver_telemetry = pool.telemetry_snapshots()
             _release_leases(self._leases, self._resources)
             self._drained.set()
 
@@ -524,6 +566,28 @@ class CampaignService:
         return buffer.getvalue()
 
     def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` payload.  Schema (all keys always
+        present)::
+
+            version       wire schema version
+            uptime_s      seconds since service construction
+            draining      bool
+            cache         registry-backed counters, aggregated over the
+                          service's own cache instance plus the latest
+                          snapshot of every driver worker: hits, misses,
+                          stores, evictions, hit_rate,
+                          lock_wait_seconds (flock contention)
+            pool          drivers / busy / idle / branches_per_driver
+            queue         depth / running / max, plus "wait" — the
+                          branch queue-wait histogram summary
+                          {count, sum, mean, buckets: {le: n}}
+                          (admission -> dispatch latency)
+            service       scheduler counters: submissions,
+                          branches_inline (served from the daemon's
+                          memory cache without a driver),
+                          branches_driver, branches_failed
+            campaigns     total + count per status
+        """
         with self._lock:
             stats = self.cache.stats()
             pool = self._pool
@@ -534,6 +598,8 @@ class CampaignService:
                     for counter in ("hits", "misses", "stores",
                                     "evictions"):
                         stats[counter] += snapshot.get(counter, 0)
+                    stats["lock_wait_seconds"] += snapshot.get(
+                        "lock_wait_seconds", 0.0)
                 utilization = pool.utilization()
             else:
                 utilization = {
@@ -555,9 +621,33 @@ class CampaignService:
                     "depth": len(self._queue),
                     "running": len(self._tickets),
                     "max": self.max_queue,
+                    "wait": self._m_queue_wait.summary(),
+                },
+                "service": {
+                    "submissions": int(self._m_submissions.value),
+                    "branches_inline": int(self._m_inline.value),
+                    "branches_driver": int(self._m_dispatched.value),
+                    "branches_failed": int(self._m_failed.value),
                 },
                 "campaigns": {"total": len(self._campaigns), **by_status},
             }
+
+    def telemetry_snapshot(self) -> dict:
+        """One mergeable snapshot across every registry the service can
+        see: its own context (scheduler + inline execution), its cache
+        instance, and the latest piggybacked snapshot of each driver
+        worker (final close-handshake snapshots after a drain)."""
+        from ..telemetry import merge_snapshots
+
+        with self._lock:
+            parts = [self._resources.telemetry.snapshot(),
+                     self.cache.telemetry_snapshot()]
+            if self._pool is not None:
+                driver_snaps = self._pool.telemetry_snapshots()
+            else:
+                driver_snaps = self._driver_telemetry
+            parts.extend(s for s in driver_snaps if s is not None)
+        return merge_snapshots(*parts)
 
 
 # -- HTTP layer ---------------------------------------------------------------------
@@ -661,6 +751,16 @@ class _Handler(BaseHTTPRequestHandler):
             parts = [p for p in self.path.split("/") if p]
             if parts == ["stats"]:
                 self._send_json(200, self.service.stats())
+            elif parts == ["metrics"]:
+                from ..telemetry import CONTENT_TYPE, render_prometheus
+
+                body = render_prometheus(
+                    self.service.telemetry_snapshot()).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
             elif parts == ["healthz"]:
                 self._send_json(200, {"ok": True})
             elif len(parts) >= 2 and parts[0] == "campaigns":

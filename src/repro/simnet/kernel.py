@@ -457,6 +457,7 @@ class Channel:
             if getter.triggered:  # cancelled/interrupted getter
                 continue
             self.put_wakeups += 1
+            self.sim.put_wakeups += 1
             sync = self.sync_handoff
             if sync is None:
                 sync = self.sim.sync_put_handoff
@@ -570,6 +571,13 @@ class Simulator:
         #: ordering contract; the synchronous wake is opt-in because it
         #: reorders same-instant events.
         self.sync_put_handoff = False
+        #: Observability counters (plain ints, exported to the telemetry
+        #: registry by the harness after a run).  Strictly write-only
+        #: from the loop's point of view: nothing reads them back into
+        #: scheduling, so event order and the clock are untouched.
+        self.events_processed = 0
+        self.max_queue_depth = 0
+        self.put_wakeups = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -641,6 +649,10 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
+        depth = len(self._queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self.events_processed += 1
         when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")

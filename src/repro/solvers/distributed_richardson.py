@@ -322,6 +322,10 @@ class _BlockSolver:
         # arrives out-of-band via the executor (TaskContext.resources),
         # never through the params (params are modeled wire payload).
         self.resources = ctx.resources
+        # Span tracing rides the same out-of-band context (no-op unless
+        # REPRO_TELEMETRY=spans): wall-clock only, so instrumented and
+        # bare solves stay bit-identical.
+        self._tele = resolve_context(self.resources).telemetry
         self.problem = get_problem(self.kind, self.n,
                                    resources=self.resources)
         sub = ctx.subtask
@@ -532,22 +536,27 @@ class _BlockSolver:
             self.locally_converged = False
             self._send_term(0, ("CONV", False))
         while not self.stopped and self.sweeps < self.max_relax:
-            self._drain_env_nowait()
-            if self.stopped:
-                break
-            self._pull_async_ghosts()
-            diff = yield from self._sweep_step()
-            if self.checkpoint_every and self.sweeps % self.checkpoint_every == 0:
-                ctx.checkpoint(self._checkpoint_payload())
-            exchange_events, recv_events = self._send_boundaries()
-            self._report_termination(diff)
-            if self.stopped:
-                break
-            if exchange_events:
-                yield from self._wait_exchange(exchange_events)
+            with self._tele.span("iteration", peer=self.rank,
+                                 iteration=self.sweeps + 1):
+                self._drain_env_nowait()
                 if self.stopped:
                     break
-                self._apply_sync_ghosts(recv_events)
+                self._pull_async_ghosts()
+                diff = yield from self._sweep_step()
+                if self.checkpoint_every \
+                        and self.sweeps % self.checkpoint_every == 0:
+                    ctx.checkpoint(self._checkpoint_payload())
+                exchange_events, recv_events = self._send_boundaries()
+                self._report_termination(diff)
+                if self.stopped:
+                    break
+                if exchange_events:
+                    with self._tele.span("ghost-exchange", peer=self.rank,
+                                         iteration=self.sweeps):
+                        yield from self._wait_exchange(exchange_events)
+                    if self.stopped:
+                        break
+                    self._apply_sync_ghosts(recv_events)
         if (
             self.stopped and self.restarted
             and self.stop_info is not None and self.local_diff > self.tol
@@ -621,24 +630,26 @@ class _BlockSolver:
         iteration = self.sweeps + 1
         if self._recorder is not None:
             self._recorder.sweep_begin(self.rank, iteration)
-        if self.split_phase:
-            self.state.begin_sweep()
+        with self._tele.span("sweep", peer=self.rank, iteration=iteration,
+                             split_phase=self.split_phase):
+            if self.split_phase:
+                self.state.begin_sweep()
+                self.sweeps = iteration
+                yield self.ctx.node.compute(self.state.flops())
+                diff = self.state.finish_sweep()
+                self.local_diff = diff
+                self.mp.inject(self.rank, iteration, diff)
+                if self._recorder is not None:
+                    self._recorder.sweep_end(self.rank, iteration, diff)
+                return diff
+            diff = self.state.sweep()
             self.sweeps = iteration
-            yield self.ctx.node.compute(self.state.flops())
-            diff = self.state.finish_sweep()
             self.local_diff = diff
             self.mp.inject(self.rank, iteration, diff)
             if self._recorder is not None:
                 self._recorder.sweep_end(self.rank, iteration, diff)
+            yield self.ctx.node.compute(self.state.flops())
             return diff
-        diff = self.state.sweep()
-        self.sweeps = iteration
-        self.local_diff = diff
-        self.mp.inject(self.rank, iteration, diff)
-        if self._recorder is not None:
-            self._recorder.sweep_end(self.rank, iteration, diff)
-        yield self.ctx.node.compute(self.state.flops())
-        return diff
 
     # -- communication ----------------------------------------------------------------
 

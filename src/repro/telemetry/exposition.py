@@ -1,0 +1,175 @@
+"""Prometheus text exposition (version 0.0.4), hand-rolled on stdlib.
+
+:func:`render_prometheus` turns a merged telemetry snapshot into the
+``text/plain; version=0.0.4`` format Prometheus scrapes: ``# TYPE``
+comments, ``name{labels} value`` samples, and the cumulative
+``_bucket``/``_sum``/``_count`` triple for histograms.  Spans are not
+exposed here — they go through the JSON dump / timeline path.
+
+:func:`validate_exposition` is the strict parser used by the test suite
+and the CI ``/metrics`` scrape: it re-checks metric-name grammar, label
+syntax, float parsability, histogram invariants (monotone cumulative
+buckets, terminal ``+Inf``), and TYPE-comment coverage, raising
+``ValueError`` with a line number on the first violation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .registry import split_metric_key
+
+__all__ = ["render_prometheus", "validate_exposition", "CONTENT_TYPE"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def _fmt_value(value):
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_sample(name, label_str, value, extra=None):
+    labels = []
+    if label_str:
+        labels.append(label_str)
+    if extra:
+        labels.append(extra)
+    body = ("{" + ",".join(labels) + "}") if labels else ""
+    return f"{name}{body} {_fmt_value(value)}"
+
+
+def render_prometheus(snapshot):
+    """Render a (merged) snapshot dict as exposition text."""
+    lines = []
+    typed = set()
+
+    def declare(name, kind):
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        name, label_str = split_metric_key(key)
+        declare(name, "counter")
+        lines.append(_fmt_sample(
+            name, label_str, snapshot["counters"][key]))
+    for key in sorted(snapshot.get("gauges", {})):
+        name, label_str = split_metric_key(key)
+        declare(name, "gauge")
+        lines.append(_fmt_sample(name, label_str, snapshot["gauges"][key]))
+    for key in sorted(snapshot.get("histograms", {})):
+        name, label_str = split_metric_key(key)
+        cells = snapshot["histograms"][key]
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(cells["buckets"], cells["counts"]):
+            cumulative += count
+            lines.append(_fmt_sample(
+                name + "_bucket", label_str, cumulative,
+                extra=f'le="{_fmt_value(float(bound))}"'))
+        lines.append(_fmt_sample(
+            name + "_bucket", label_str, cells["count"], extra='le="+Inf"'))
+        lines.append(_fmt_sample(name + "_sum", label_str, cells["sum"]))
+        lines.append(_fmt_sample(name + "_count", label_str, cells["count"]))
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw, lineno):
+    if raw == "":
+        return {}
+    out = {}
+    for part in raw.split(","):
+        if not _LABEL_RE.match(part):
+            raise ValueError(f"line {lineno}: malformed label {part!r}")
+        label, _, value = part.partition("=")
+        out[label] = value.strip('"')
+    return out
+
+
+def validate_exposition(text):
+    """Strictly parse exposition text; raise ``ValueError`` on errors.
+
+    Returns ``{metric_name: {"type": kind, "samples": int}}`` so callers
+    can assert on coverage as well as validity.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    types = {}
+    seen = {}
+    histogram_state = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            _, _, name, kind = parts
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"line {lineno}: bad metric type {kind!r}")
+            if name in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP/other comments are legal and unchecked
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", lineno)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {raw_value!r}") from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types \
+                    and types[name[: -len(suffix)]] == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no TYPE comment")
+        entry = seen.setdefault(base, {"type": types[base], "samples": 0})
+        entry["samples"] += 1
+        if types[base] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ValueError(
+                    f"line {lineno}: histogram bucket without le label")
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            state = histogram_state.setdefault((base, series), [])
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            if state and le <= state[-1][0]:
+                raise ValueError(
+                    f"line {lineno}: bucket bounds not increasing")
+            if state and value < state[-1][1]:
+                raise ValueError(
+                    f"line {lineno}: bucket counts not cumulative")
+            state.append((le, value))
+    for (base, series), state in histogram_state.items():
+        if not state or state[-1][0] != math.inf:
+            raise ValueError(
+                f"histogram {base}{dict(series)!r} missing +Inf bucket")
+    for name, kind in types.items():
+        if name not in seen:
+            raise ValueError(f"TYPE declared but no samples for {name}")
+    return seen

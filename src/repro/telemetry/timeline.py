@@ -1,0 +1,90 @@
+"""Per-peer span timeline rendering for ``repro.experiments timeline``.
+
+Takes a telemetry JSON dump (a merged snapshot with a ``spans`` list) and
+renders an ASCII timeline: one lane per peer, wall time on the x axis,
+sweep and ghost-exchange spans drawn as filled segments.  This is where
+async overlap becomes visible on real hardware: in an asynchronous run
+the sweep blocks of independent peers overlap in wall time, in a
+synchronous run they interleave with exchange barriers.
+
+Span vocabulary (producers in ``repro.solvers`` / ``repro.experiments``):
+
+- ``solve``   — one full solver campaign job (no ``peer`` attr)
+- ``iteration`` — one relaxation iteration of one peer
+- ``sweep``   — the in-flight window of one peer's sweep dispatch
+- ``ghost-exchange`` — one peer waiting on boundary-plane exchange
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_timeline"]
+
+#: lane glyph per span kind, in paint order (later overpaints earlier,
+#: so the finer-grained kinds win where spans nest).
+_GLYPHS = (
+    ("iteration", "·"),
+    ("ghost-exchange", "▒"),
+    ("sweep", "█"),
+)
+
+
+def _lane_key(attrs):
+    peer = attrs.get("peer")
+    return None if peer is None else int(peer)
+
+
+def render_timeline(snapshot, width=72):
+    """Render ``snapshot['spans']`` as a per-peer timeline string."""
+    spans = [tuple(s) for s in snapshot.get("spans", [])]
+    if not spans:
+        return ("no spans recorded — run with REPRO_TELEMETRY=spans "
+                "and a --telemetry-json dump\n")
+    t_min = min(s[1] for s in spans)
+    t_max = max(s[2] for s in spans)
+    total = max(t_max - t_min, 1e-9)
+    scale = width / total
+
+    lanes = {}
+    solves = []
+    counts = {}
+    busy = {}
+    for name, t0, t1, attrs in spans:
+        counts[name] = counts.get(name, 0) + 1
+        peer = _lane_key(attrs)
+        if peer is None:
+            if name == "solve":
+                solves.append((t0, t1, attrs))
+            continue
+        lanes.setdefault(peer, []).append((name, t0, t1, attrs))
+        if name == "sweep":
+            busy[peer] = busy.get(peer, 0.0) + (t1 - t0)
+
+    out = []
+    out.append(f"span timeline — {len(spans)} spans over "
+               f"{total * 1e3:.1f} ms wall time")
+    for t0, t1, attrs in sorted(solves):
+        label = attrs.get("label") or attrs.get("scheme") or "solve"
+        out.append(f"  solve [{label}] {((t1 - t0) * 1e3):8.1f} ms  "
+                   + ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)))
+    out.append("")
+    out.append("  legend: █ sweep   ▒ ghost-exchange   · iteration")
+    out.append("")
+    for peer in sorted(lanes):
+        row = [" "] * width
+        for kind, glyph in _GLYPHS:
+            for name, t0, t1, attrs in lanes[peer]:
+                if name != kind:
+                    continue
+                lo = int((t0 - t_min) * scale)
+                hi = max(int((t1 - t_min) * scale), lo + 1)
+                for i in range(lo, min(hi, width)):
+                    row[i] = glyph
+        sweeps = sum(1 for s in lanes[peer] if s[0] == "sweep")
+        pct = 100.0 * busy.get(peer, 0.0) / total
+        out.append(f"  peer {peer:>3} |{''.join(row)}| "
+                   f"{sweeps} sweeps, {pct:5.1f}% sweep-busy")
+    out.append("")
+    summary = ", ".join(
+        f"{name}×{counts[name]}" for name in sorted(counts))
+    out.append(f"  spans: {summary}")
+    return "\n".join(out) + "\n"

@@ -184,7 +184,8 @@ class TestStats:
     def test_counters_and_hit_rate(self, solved):
         cache = ResultCache()
         assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
-                                 "evictions": 0, "hit_rate": 0.0}
+                                 "evictions": 0, "hit_rate": 0.0,
+                                 "lock_wait_seconds": 0.0}
         key = _key()
         cache.load(key)          # miss
         cache.store(key, solved)

@@ -1,0 +1,198 @@
+"""Metric primitives: handles, snapshots, and the merge algebra."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+    merge_snapshots,
+    metric_key,
+)
+from repro.telemetry.registry import split_metric_key
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("repro_x_total", {}) == "repro_x_total"
+
+    def test_labels_sorted(self):
+        key = metric_key("m", {"b": "2", "a": "1"})
+        assert key == 'm{a="1",b="2"}'
+
+    def test_split_round_trip(self):
+        key = metric_key("m", {"order": "jacobi"})
+        name, labels = split_metric_key(key)
+        assert name == "m"
+        assert labels == 'order="jacobi"'
+        assert split_metric_key("bare") == ("bare", None)
+
+
+class TestHandles:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total")
+        c.inc()
+        c.inc(2.5)
+        assert reg.snapshot()["counters"]["repro_x_total"] == 3.5
+
+    def test_same_key_same_handle(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", order="jacobi") is \
+            reg.counter("m", order="jacobi")
+        assert reg.counter("m", order="jacobi") is not \
+            reg.counter("m", order="gauss_seidel")
+
+    def test_gauge_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set_max(3)
+        g.set_max(1)
+        assert g.value == 3.0
+        g.set(0.5)
+        assert g.value == 0.5
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        assert h.buckets == tuple(SECONDS_BUCKETS)
+        h.observe(0.0)          # first cell (<= 1e-5)
+        h.observe(0.05)         # between 1e-2 and 0.1
+        h.observe(10_000.0)     # overflow cell
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.count == 3
+        assert h.sum == pytest.approx(10_000.05)
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        h.observe(0.2)
+        summary = h.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["buckets"]["+Inf"] == 0
+        assert sum(summary["buckets"].values()) == 1
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+
+        def spin():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestSnapshot:
+    def test_picklable_and_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c", order="jacobi").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        snap = reg.snapshot()
+        c.inc()
+        assert snap["counters"]["c"] == 0.0
+
+    def test_merge_snapshot_folds_in(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("c2", k="v").inc()
+        b.gauge("g").set(5)
+        b.histogram("h").observe(0.3)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 5.0
+        assert snap["counters"]['c2{k="v"}'] == 1.0
+        assert snap["gauges"]["g"] == 5.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merged_label_key_reuses_handle_slot(self):
+        # A handle re-created from a composite key must land in the
+        # same slot as the native (name, labels) handle.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c", k="v").inc()
+        a.merge_snapshot(b.snapshot())
+        a.merge_snapshot(b.snapshot())
+        assert a.snapshot()["counters"]['c{k="v"}'] == 2.0
+
+
+def _snap(counters=None, gauges=None, hists=None, spans=None):
+    reg = MetricsRegistry()
+    for key, val in (counters or {}).items():
+        reg.counter(key).inc(val)
+    for key, val in (gauges or {}).items():
+        reg.gauge(key).set(val)
+    for key, vals in (hists or {}).items():
+        h = reg.histogram(key)
+        for v in vals:
+            h.observe(v)
+    out = reg.snapshot()
+    out["spans"] = spans or []
+    return out
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_gauges_max_cells_add(self):
+        merged = merge_snapshots(
+            _snap(counters={"c": 2}, gauges={"g": 1}, hists={"h": [0.2]}),
+            _snap(counters={"c": 3}, gauges={"g": 4}, hists={"h": [0.3]}),
+        )
+        assert merged["counters"]["c"] == 5.0
+        assert merged["gauges"]["g"] == 4.0
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(0.5)
+
+    def test_associative_and_commutative(self):
+        snaps = [
+            _snap(counters={"c": 1}, gauges={"g": 3}, hists={"h": [0.01]},
+                  spans=[["sweep", 1.0, 2.0, {"peer": 0}]]),
+            _snap(counters={"c": 2, "d": 7}, gauges={"g": 1}),
+            _snap(hists={"h": [5.0, 0.2]},
+                  spans=[["sweep", 0.5, 0.9, {"peer": 1}]]),
+        ]
+        a = merge_snapshots(*snaps)
+        b = merge_snapshots(snaps[2], snaps[0], snaps[1])
+        c = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+        assert a == b == c
+
+    def test_spans_sorted_by_time(self):
+        merged = merge_snapshots(
+            _snap(spans=[["b", 2.0, 3.0, {}]]),
+            _snap(spans=[["a", 1.0, 2.0, {}]]),
+        )
+        assert [s[0] for s in merged["spans"]] == ["a", "b"]
+
+    def test_empty_and_none_snapshots_ignored(self):
+        merged = merge_snapshots(None, {}, _snap(counters={"c": 1}))
+        assert merged["counters"]["c"] == 1.0
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            merge_snapshots({"version": 99, "counters": {}})
+
+    def test_bucket_mismatch_rejected(self):
+        good = _snap(hists={"h": [0.1]})
+        bad = _snap(hists={"h": [0.1]})
+        bad["histograms"]["h"]["buckets"] = [1.0, 2.0]
+        bad["histograms"]["h"]["counts"] = [0, 1, 0]
+        with pytest.raises(ValueError, match="bucket"):
+            merge_snapshots(good, bad)

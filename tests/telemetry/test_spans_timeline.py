@@ -1,0 +1,124 @@
+"""Span recording (env-gated, bounded) and timeline rendering."""
+
+from repro.telemetry import (
+    SPAN_BUFFER_CAPACITY,
+    SpanBuffer,
+    Telemetry,
+    merge_snapshots,
+    render_timeline,
+    spans_enabled,
+)
+from repro.telemetry.spans import NOOP_SPAN
+
+
+class TestEnablement:
+    def test_spans_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert not spans_enabled()
+        tele = Telemetry()
+        assert tele.enabled  # counters stay on
+        assert tele.span("sweep") is NOOP_SPAN
+
+    def test_spans_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "spans")
+        tele = Telemetry()
+        with tele.span("sweep", peer=3) as span:
+            span.annotate(diff=0.5)
+        records = tele.snapshot()["spans"]
+        assert len(records) == 1
+        name, t0, t1, attrs = records[0]
+        assert name == "sweep"
+        assert t1 >= t0
+        assert attrs == {"peer": 3, "diff": 0.5}
+
+    def test_off_kills_counters_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        assert not Telemetry().enabled
+        assert not spans_enabled()
+
+    def test_noop_span_is_reusable(self):
+        with NOOP_SPAN as a:
+            a.annotate(x=1)
+        with NOOP_SPAN as b:
+            pass
+        assert a is b is NOOP_SPAN
+
+
+class TestSpanBuffer:
+    def test_bounded_keeps_most_recent(self):
+        buf = SpanBuffer(capacity=4)
+        for i in range(10):
+            with buf.span("s", i=i):
+                pass
+        records = buf.snapshot()
+        assert len(records) == 4
+        assert [r[3]["i"] for r in records] == [6, 7, 8, 9]
+
+    def test_default_capacity(self):
+        assert SpanBuffer()._spans.maxlen == SPAN_BUFFER_CAPACITY
+
+    def test_reset_drops_spans(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "spans")
+        tele = Telemetry()
+        with tele.span("s"):
+            pass
+        tele.counter("c").inc()
+        tele.reset()
+        snap = tele.snapshot()
+        assert snap["spans"] == []
+        assert snap["counters"] == {}
+
+    def test_merge_carries_spans(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "spans")
+        worker = Telemetry()
+        with worker.span("sweep", peer=1):
+            pass
+        parent = Telemetry()
+        parent.merge(worker.snapshot())
+        assert len(parent.snapshot()["spans"]) == 1
+
+
+def _fake_snapshot():
+    # Hand-built spans: a solve envelope, two peers with sweeps, one
+    # exchange wait.  Times are synthetic perf-counter seconds.
+    spans = [
+        ["solve", 0.0, 1.0, {"scheme": "asynchronous", "n": 24}],
+        ["iteration", 0.0, 0.5, {"peer": 0, "iteration": 1}],
+        ["sweep", 0.05, 0.40, {"peer": 0, "iteration": 1}],
+        ["iteration", 0.1, 0.9, {"peer": 1, "iteration": 1}],
+        ["sweep", 0.15, 0.60, {"peer": 1, "iteration": 1}],
+        ["ghost-exchange", 0.65, 0.85, {"peer": 1, "iteration": 1}],
+    ]
+    return merge_snapshots({"version": 1, "counters": {}, "gauges": {},
+                            "histograms": {}, "spans": spans})
+
+
+class TestTimeline:
+    def test_renders_per_peer_lanes(self):
+        text = render_timeline(_fake_snapshot(), width=40)
+        assert "span timeline — 6 spans" in text
+        assert "solve [asynchronous]" in text
+        assert "peer   0 |" in text
+        assert "peer   1 |" in text
+        assert "█" in text  # sweep glyph painted
+        assert "▒" in text  # exchange glyph painted
+        assert "ghost-exchange×1" in text
+        assert "sweep×2" in text
+
+    def test_sweep_busy_percentages(self):
+        text = render_timeline(_fake_snapshot(), width=40)
+        peer0 = next(line for line in text.splitlines()
+                     if line.strip().startswith("peer   0"))
+        assert "1 sweeps" in peer0
+        assert "35.0% sweep-busy" in peer0
+
+    def test_no_spans_fallback(self):
+        text = render_timeline({"spans": []})
+        assert "no spans recorded" in text
+        assert "REPRO_TELEMETRY=spans" in text
+
+    def test_handles_json_round_trip(self):
+        import json
+
+        snap = json.loads(json.dumps(_fake_snapshot()))
+        assert "peer   1 |" in render_timeline(snap)
