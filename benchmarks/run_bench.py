@@ -7,8 +7,9 @@ Usage (from the repository root)::
     python benchmarks/run_bench.py --check [--tolerance 1.0]
 
 Runs ``benchmarks/test_bench_micro.py``,
-``benchmarks/test_bench_campaign.py`` and
-``benchmarks/test_bench_async.py`` under pytest-benchmark, collects
+``benchmarks/test_bench_campaign.py``,
+``benchmarks/test_bench_async.py`` and
+``benchmarks/test_bench_ladder.py`` under pytest-benchmark, collects
 the per-benchmark mean/ops numbers, derives the fused-vs-reference
 speedups for the relaxation kernels, the process-vs-inline speedup of
 the sharded sweep executor, the float32-vs-float64 speedup of the
@@ -25,7 +26,11 @@ the counts are deterministic), and the telemetry overhead of the
 default-on counters (``telemetry_overhead``: the fused Jacobi sweep
 with the kernel probe active vs ``REPRO_TELEMETRY=off`` — gated by
 ``--check`` at an absolute ≤ 3% ceiling, independent of
-``--tolerance``), and writes the result as JSON.  The
+``--tolerance``), and the mixed-precision ladder speedup
+(``ladder_vs_cold_float64``: one float64 job at tol 1e-6 solved cold
+vs through the campaign ladder, all stages timed — gated by
+``--check`` at an absolute ≥ 1.5x floor), and writes the result as
+JSON.  The
 checked-in ``BENCH_micro.json`` is the perf trajectory record: future
 PRs rerun this script and compare against it before touching a hot
 path.
@@ -127,6 +132,22 @@ TELEMETRY_PAIRS = {
 #: Absolute gate for ``telemetry_overhead`` ratios under ``--check``.
 TELEMETRY_OVERHEAD_CEILING = 1.03
 
+#: (cold, laddered) pairs whose ratio is the mixed-precision ladder
+#: speedup: the same float64 job at tol 1e-6 solved cold vs through
+#: the campaign ladder (coarse float32 → interpolated float32 warm
+#: start → float64 polish), all ladder stages included in the timing.
+#: Both sides reach the same verified STOP, and both are single-peer
+#: synchronous solves — the ratio is core-count independent.
+LADDER_PAIRS = {
+    "float64_tol1e-6": ("test_bench_ladder_cold_float64",
+                        "test_bench_ladder_mixed_precision"),
+}
+
+#: Absolute gate for ``ladder_vs_cold_float64`` under ``--check``: the
+#: ladder must beat the cold solve by at least this factor on any
+#: machine, independent of ``--tolerance`` and the committed record.
+LADDER_SPEEDUP_FLOOR = 1.5
+
 
 def run_benchmarks(json_path: Path) -> None:
     env = dict(os.environ)
@@ -140,6 +161,7 @@ def run_benchmarks(json_path: Path) -> None:
             str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
             str(REPO_ROOT / "benchmarks" / "test_bench_campaign.py"),
             str(REPO_ROOT / "benchmarks" / "test_bench_async.py"),
+            str(REPO_ROOT / "benchmarks" / "test_bench_ladder.py"),
             "-q", "--benchmark-only", f"--benchmark-json={json_path}",
         ],
         cwd=REPO_ROOT,
@@ -206,6 +228,12 @@ def summarize(raw: dict) -> dict:
             )
     if async_overlap:
         async_overlap["cpu_count"] = os.cpu_count()
+    ladder = {}
+    for label, (cold, laddered) in LADDER_PAIRS.items():
+        if cold in results and laddered in results:
+            ladder[label] = round(
+                results[cold]["mean_s"] / results[laddered]["mean_s"], 3
+            )
     telemetry_overhead = {}
     for label, (off, on) in TELEMETRY_PAIRS.items():
         if off in results and on in results:
@@ -233,6 +261,7 @@ def summarize(raw: dict) -> dict:
         "campaign_setup_amortization": campaign,
         "campaign_cache_service": cache_service,
         "async_overlap": async_overlap,
+        "ladder_vs_cold_float64": ladder,
         "telemetry_overhead": telemetry_overhead,
         "benchmarks": results,
     }
@@ -263,6 +292,9 @@ def print_summary(summary: dict) -> None:
             continue
         print(f"  async overlap {label}: {ratio:.2f}x split-phase vs "
               f"blocking ({cores} core(s) available)")
+    for label, ratio in summary.get("ladder_vs_cold_float64", {}).items():
+        print(f"  ladder {label}: {ratio:.2f}x mixed-precision vs "
+              "cold float64")
     for label, ratio in summary.get("telemetry_overhead", {}).items():
         if label == "cpu_count":
             continue
@@ -346,6 +378,22 @@ def check(fresh: dict, committed: dict, tolerance: float) -> int:
                             f"{got:.2%} below committed {want:.2%}")
         print(f"  {verdict:6s}cache service {name}: hit rate {got:.2%} "
               f"vs committed {want:.2%}")
+    # The ladder gate is absolute too: "the mixed-precision ladder
+    # beats a cold float64 solve by >= 1.5x" is the subsystem's
+    # acceptance claim and must hold on any machine — both sides are
+    # the same single-peer solve, so the ratio is core-count
+    # independent and is not skipped on cpu_count mismatch.
+    fresh_ladder = dict(fresh.get("ladder_vs_cold_float64", {}))
+    for name in sorted(fresh_ladder):
+        ratio = fresh_ladder[name]
+        verdict = "ok"
+        if ratio < LADDER_SPEEDUP_FLOOR:
+            verdict = "WORSE"
+            failures.append(
+                f"ladder_vs_cold_float64/{name}: {ratio:.2f}x below "
+                f"the {LADDER_SPEEDUP_FLOOR:.1f}x acceptance floor")
+        print(f"  {verdict:6s}ladder {name}: {ratio:.2f}x vs cold "
+              f"(floor {LADDER_SPEEDUP_FLOOR:.1f}x)")
     # The telemetry-overhead gate is absolute: default-on counters must
     # stay within a fixed 3% of the telemetry-off sweep, no matter what
     # the committed record says and independent of --tolerance.  Noise

@@ -1,0 +1,63 @@
+"""Mixed-precision ladder vs a cold float64 solve, wall-clock.
+
+The acceptance shape of the campaign ladder: one 64³ float64 job at
+tol 1e-6 (96³ under ``REPRO_FULL=1``), solved cold versus through the
+planned ladder chain — half-size float32 solve → interpolated float32
+warm start → float64 polish.  Both runs reach the same verified STOP
+(diff-based termination at tol, residual checked below tol); the
+ladder's timing includes *all* of its stages, so the ratio is the real
+end-to-end win, not just the polish.
+
+``run_bench.py`` derives ``ladder_vs_cold_float64`` (cold mean / ladder
+mean) from this pair and ``--check`` gates it against an *absolute*
+floor of 1.5x — unlike the relative perf gates, the claim "the ladder
+pays for itself" must hold on any machine, so it is not diffed against
+the committed record.  The ratio is valid on one core: both sides are
+the same single-peer synchronous solve, only the precision/size
+schedule differs.
+
+The result cache is off: every round re-solves the full chain.
+"""
+
+import os
+
+import numpy as np
+
+from repro.campaign import Campaign, CampaignJob
+
+LADDER_N = 96 if os.environ.get("REPRO_FULL", "0") == "1" else 64
+TOL = 1e-6
+
+
+def _job():
+    return CampaignJob(n=LADDER_N, n_peers=1, n_clusters=1,
+                       scheme="synchronous", tol=TOL, dtype="float64")
+
+
+def _bench(benchmark, ladder: bool):
+    campaign = Campaign([_job()], ladder=ladder)  # no cache: re-solve
+    try:
+        outcome = benchmark.pedantic(campaign.run, rounds=3,
+                                     iterations=1, warmup_rounds=1)
+        [record] = outcome.records
+        assert record.result.residual <= TOL
+        assert record.result.report.u.dtype == np.float64
+        prov = record.result.report.provenance
+        if ladder:
+            assert prov["warm_start"].endswith(":cast@float32")
+        else:
+            assert prov["warm_start"] is None
+        benchmark.extra_info["residual"] = float(record.result.residual)
+        benchmark.extra_info["relaxations"] = record.result.relaxations
+    finally:
+        campaign.close()
+
+
+def test_bench_ladder_cold_float64(benchmark):
+    """Baseline: the float64 job solved cold from the feasible start."""
+    _bench(benchmark, ladder=False)
+
+
+def test_bench_ladder_mixed_precision(benchmark):
+    """The same job through the ladder chain (all stages timed)."""
+    _bench(benchmark, ladder=True)

@@ -35,7 +35,14 @@ from ..resources import ResourceContext
 from .cache import CACHE_SCHEMA, ResultCache, cache_key
 from .driver import DriverPool
 from .engine import Campaign, CampaignResult, ExecutedJob
-from .jobs import CampaignJob, CampaignPlan, expand_matrix, plan_jobs
+from .jobs import (
+    CampaignJob,
+    CampaignPlan,
+    WarmEdge,
+    expand_matrix,
+    ladder_stages,
+    plan_jobs,
+)
 from .pool import WorkspacePool
 
 __all__ = [
@@ -48,8 +55,10 @@ __all__ = [
     "ExecutedJob",
     "ResourceContext",
     "ResultCache",
+    "WarmEdge",
     "WorkspacePool",
     "cache_key",
     "expand_matrix",
+    "ladder_stages",
     "plan_jobs",
 ]

@@ -47,6 +47,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
@@ -388,6 +389,20 @@ class ResultCache:
         if meta.get("schema") != CACHE_SCHEMA:
             return None
         u = np.load(npy, allow_pickle=False)
+        expected_dtype = (meta.get("signature") or {}).get("dtype")
+        if expected_dtype is not None and u.dtype.name != expected_dtype:
+            # A torn or mismatched pair — e.g. the .npy of one entry
+            # paired with the .json of another after a partial copy —
+            # must read as a miss, not hand a float32 iterate to a
+            # caller whose signature promised float64.
+            warnings.warn(
+                f"cache entry {key} is corrupt: stored array dtype "
+                f"{u.dtype.name} disagrees with signature dtype "
+                f"{expected_dtype}; treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         rep_meta = meta["report"]
         per_peer = [
             BlockReport(

@@ -91,6 +91,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..numerics.tolerances import resolve_dtype
+from ..numerics.transfer import TRANSFER_VERSION
 from ..resources import ResourceContext
 from .cache import ResultCache, cache_key
 from .jobs import CampaignJob, CampaignPlan, plan_jobs
@@ -190,6 +191,15 @@ def resolve_cache_keys(
     the predecessor's *key* (never its result), the whole map is a
     pure function of the plan — which is what lets branches be
     dispatched to drivers before anything has run.
+
+    Ladder edges fold two more facts into the dependent signature:
+    the seed's provenance kind (``interpolated@<n_coarse>`` for a
+    cross-size edge, ``cast@<dtype>`` for the float32 → float64
+    polish) and the transfer-operator version — so a laddered result
+    can never collide with a cold one, and a changed interpolation
+    scheme misses old cache entries instead of reusing them.
+    Non-ladder plans produce byte-identical signatures to what this
+    function always produced.
     """
     ckeys: dict[str, str] = {}
     signatures: dict[str, dict] = {}
@@ -198,6 +208,13 @@ def resolve_cache_keys(
         warm_from = plan.warm_sources.get(key)
         warm_ckey = ckeys[warm_from] if warm_from is not None else None
         signature = dict(job.signature(), warm_from=warm_ckey)
+        edge = plan.warm_edges.get(key)
+        if edge is not None and edge.kind == "ladder":
+            if edge.n_source != job.n:
+                signature["warm_kind"] = f"interpolated@{edge.n_source}"
+            else:
+                signature["warm_kind"] = f"cast@{edge.dtype_source}"
+            signature["transfer"] = TRANSFER_VERSION
         signatures[key] = signature
         ckeys[key] = cache_key(signature)
     return ckeys, signatures
@@ -244,10 +261,34 @@ def _execute_chunk(tasks, *, cache, resources, leases, keep_runners,
             warm_u = warm_label = None
             if warm_from is not None and warm_from in results:
                 seed = results[warm_from].result.report.u
-                warm_u = np.ascontiguousarray(
-                    seed, dtype=resolve_dtype(job.dtype)
-                )
-                warm_label = f"campaign:{warm_from}"
+                dtype = resolve_dtype(job.dtype)
+                if seed.shape[0] != job.n:
+                    # Ladder cross-size edge (after planning
+                    # validation, the only edge type that may cross
+                    # sizes): interpolate the coarse solution onto
+                    # this job's grid and project it feasible in the
+                    # solve dtype.  The provenance label records the
+                    # interpolation so a laddered report is
+                    # distinguishable from a plain warm start.
+                    from ..numerics.transfer import prolong_iterate
+                    from ..solvers.distributed_richardson import (
+                        get_problem,
+                    )
+
+                    problem = get_problem(job.problem, job.n,
+                                          resources=resources)
+                    warm_u = prolong_iterate(seed, problem, dtype)
+                    warm_label = (f"campaign:{warm_from}:"
+                                  f"interpolated@{seed.shape[0]}")
+                elif seed.dtype != dtype:
+                    # Ladder cross-dtype edge (float32 stage seeding
+                    # the float64 polish).
+                    warm_u = np.ascontiguousarray(seed, dtype=dtype)
+                    warm_label = (f"campaign:{warm_from}:"
+                                  f"cast@{seed.dtype.name}")
+                else:
+                    warm_u = np.ascontiguousarray(seed, dtype=dtype)
+                    warm_label = f"campaign:{warm_from}"
             result = run_job(
                 job, warm_start_u=warm_u, warm_start_label=warm_label,
                 resources=resources,
@@ -333,6 +374,12 @@ class Campaign:
     warm_start:
         Chain delta-sweep groups nearest-neighbour and seed each solve
         from its predecessor's solution.
+    ladder:
+        Plan a mixed-precision multigrid chain in front of every
+        eligible float64 job (half-size float32 solve → interpolated
+        full-size float32 warm start → float64 polish); see
+        :func:`~repro.campaign.jobs.ladder_stages`.  Off by default;
+        disabled runs are bit-identical to the historical engine.
     pool_workspaces / keep_runners:
         The two pooling dimensions; both default on.  Disabling both
         (and the cache) makes ``run()`` equivalent to a loop of cold
@@ -356,6 +403,7 @@ class Campaign:
     def __init__(self, jobs: Iterable[CampaignJob], *,
                  cache: Optional[ResultCache] = None,
                  warm_start: bool = False,
+                 ladder: bool = False,
                  pool_workspaces: bool = True,
                  keep_runners: bool = True,
                  drivers: int = 1,
@@ -363,9 +411,10 @@ class Campaign:
         drivers = int(drivers)
         if drivers < 1:
             raise ValueError(f"drivers must be >= 1, got {drivers}")
-        self.plan = plan_jobs(jobs, warm_start=warm_start)
+        self.plan = plan_jobs(jobs, warm_start=warm_start, ladder=ladder)
         self.cache = cache
         self.warm_start = warm_start
+        self.ladder = ladder
         self.keep_runners = keep_runners
         self.pool_workspaces = pool_workspaces
         self.drivers = drivers

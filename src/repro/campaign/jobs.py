@@ -34,15 +34,17 @@ import itertools
 import json
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
-from ..numerics.tolerances import resolve_dtype
+from ..numerics.tolerances import min_termination_tol, resolve_dtype
 from ..p2psap.context import Scheme
 
 __all__ = [
     "CampaignJob",
     "CampaignPlan",
     "JOB_WIRE_VERSION",
+    "WarmEdge",
     "WireError",
     "expand_matrix",
+    "ladder_stages",
     "plan_jobs",
 ]
 
@@ -363,6 +365,24 @@ def expand_matrix(
     return jobs
 
 
+@dataclasses.dataclass(frozen=True)
+class WarmEdge:
+    """One warm-start edge of a plan, with its provenance kind.
+
+    ``kind="neighbour"`` is the delta-sweep nearest-neighbour edge —
+    its endpoints are guaranteed (and checked) to differ *only* in
+    ``delta``, never in size, dtype, scheme or executor.
+    ``kind="ladder"`` is the explicit mixed-precision multigrid edge,
+    the only edge type allowed to cross sizes (``n_source < n``,
+    interpolated seed) or dtypes (float32 stage → float64 polish).
+    """
+
+    source: str
+    kind: str  # "neighbour" | "ladder"
+    n_source: int
+    dtype_source: str
+
+
 @dataclasses.dataclass
 class CampaignPlan:
     """The deduplicated execution DAG of one campaign.
@@ -370,12 +390,18 @@ class CampaignPlan:
     ``order`` is a topological execution order over the unique jobs;
     ``warm_sources`` maps a job key to the key of the job whose solution
     seeds it (its nearest smaller delta in the same sweep group — only
-    populated when the plan was built with ``warm_start=True``).
+    populated when the plan was built with ``warm_start=True`` — or the
+    preceding rung of its mixed-precision ladder chain, with
+    ``ladder=True``).  ``warm_edges`` annotates every warm edge with
+    its :class:`WarmEdge` kind; the engine folds ladder-kind edges into
+    cache signatures so laddered results never collide with cold ones.
     """
 
     jobs: list[CampaignJob]
     order: list[CampaignJob]
     warm_sources: dict[str, str]
+    warm_edges: dict[str, WarmEdge] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def n_duplicates(self) -> int:
@@ -416,8 +442,117 @@ def _group_key(job: CampaignJob) -> tuple:
                         for k, v in sig.items()))
 
 
+def _check_neighbour_edge(prev: CampaignJob, job: CampaignJob) -> None:
+    """Hard invariant of nearest-neighbour warm edges: endpoints may
+    differ only in ``delta``.
+
+    The grouping above guarantees this by construction (the group key
+    retains every other signature field), but the guarantee is load-
+    bearing — the engine reuses the seed iterate *as is* across a
+    neighbour edge, so a cross-size or cross-dtype edge here would feed
+    a wrongly-shaped or wrongly-typed array into a solve.  Only the
+    explicit ladder edge type may cross those axes (and the engine
+    interpolates/casts for it); a planner change that broke the
+    grouping must fail here, loudly, not three layers down.
+    """
+    a, b = prev.signature(), job.signature()
+    a.pop("delta")
+    b.pop("delta")
+    if a != b:
+        raise ValueError(
+            f"campaign planning bug: nearest-neighbour warm edge "
+            f"{prev.label()!r} -> {job.label()!r} crosses a non-delta "
+            "axis; only explicit ladder edges may cross sizes or dtypes"
+        )
+
+
+#: Smallest fine-grid size a ladder chain is planned for: below this
+#: the coarse stage (n//2) has too few planes to partition, and the
+#: whole solve is cheap enough that ladder bookkeeping cannot pay off.
+LADDER_MIN_N = 8
+
+
+def _ladder_eligible(job: CampaignJob) -> bool:
+    """Whether a mixed-precision ladder chain is planned for ``job``.
+
+    Only float64 targets ladder (the chain's point is reaching a
+    float64 answer through cheaper float32 stages); the coarse stage
+    must still have at least as many planes as peers to partition.
+    """
+    n_coarse = job.n // 2
+    return (job.dtype == "float64"
+            and job.n >= LADDER_MIN_N
+            and n_coarse >= job.n_peers)
+
+
+def ladder_stages(job: CampaignJob) -> list[CampaignJob]:
+    """The synthetic stage jobs a ladder prepends to ``job``, coarse
+    first: a half-size float32 solve, then a full-size float32 solve.
+
+    Stage tolerances are clamped to the float32 termination floor
+    explicitly — a tight float64 target (say 1e-6) would otherwise ask
+    the float32 stages for a tolerance their dtype cannot resolve, and
+    the solver would (correctly) refuse to start.  Stages use the
+    problem-default relaxation step: an explicit ``delta`` tuned for
+    the fine grid is not meaningful on the coarse one.
+    """
+    stage_tol = max(job.tol, min_termination_tol("float32"))
+    coarse = dataclasses.replace(
+        job, n=job.n // 2, dtype="float32", tol=stage_tol, delta=None)
+    fine32 = dataclasses.replace(
+        job, dtype="float32", tol=stage_tol, delta=None)
+    return [coarse, fine32]
+
+
+def _insert_ladder_stages(order: list[CampaignJob],
+                          warm_sources: dict[str, str],
+                          warm_edges: dict[str, WarmEdge],
+                          ) -> list[CampaignJob]:
+    """Rewrite ``order`` with ladder chains in front of every eligible
+    target, wiring the explicit cross-size/cross-dtype edges.
+
+    A target is laddered only when nothing already seeds it (the first
+    member of a warm delta chain ladders; later members keep their
+    neighbour seed, which is tighter).  Stage jobs deduplicate against
+    each other *and* against submitted jobs: if the fine float32 job is
+    already in the plan it becomes the chain rung as-is, and two
+    targets sharing stages share one chain — ``branches()`` then keeps
+    every chain on one driver, as with neighbour edges.
+    """
+    new_order: list[CampaignJob] = []
+    placed: set[str] = set()
+
+    def place(stage_job: CampaignJob) -> None:
+        key = stage_job.key()
+        if key not in placed:
+            placed.add(key)
+            new_order.append(stage_job)
+
+    for job in order:
+        key = job.key()
+        if key not in warm_sources and _ladder_eligible(job):
+            prev: Optional[CampaignJob] = None
+            for stage in ladder_stages(job):
+                skey = stage.key()
+                if prev is not None and skey not in warm_sources \
+                        and skey not in placed:
+                    warm_sources[skey] = prev.key()
+                    warm_edges[skey] = WarmEdge(
+                        source=prev.key(), kind="ladder",
+                        n_source=prev.n, dtype_source=prev.dtype)
+                place(stage)
+                prev = stage
+            warm_sources[key] = prev.key()
+            warm_edges[key] = WarmEdge(
+                source=prev.key(), kind="ladder",
+                n_source=prev.n, dtype_source=prev.dtype)
+        place(job)
+    return new_order
+
+
 def plan_jobs(jobs: Iterable[CampaignJob],
-              warm_start: bool = False) -> CampaignPlan:
+              warm_start: bool = False,
+              ladder: bool = False) -> CampaignPlan:
     """Deduplicate ``jobs`` and (optionally) wire warm-start edges.
 
     Without warm starts the execution order is simply first-occurrence
@@ -426,22 +561,42 @@ def plan_jobs(jobs: Iterable[CampaignJob],
     problem default — first), and every member is seeded by its
     predecessor: the nearest-parameter neighbour.  That ordering *is*
     the topological order of the warm-start DAG.
+
+    With ``ladder=True``, every eligible float64 job that is not
+    already warm-seeded gets a mixed-precision multigrid chain planned
+    in front of it (see :func:`ladder_stages`): half-size float32 solve
+    → interpolated full-size float32 warm start → float64 polish to the
+    requested tolerance.  Stage jobs are ordinary plan nodes — they
+    deduplicate, cache, and parallelize like submitted jobs — but do
+    not appear in the campaign's submitted-job records.  With
+    ``ladder=False`` (the default) the plan is byte-identical to what
+    this function always produced.
     """
     jobs = list(jobs)
     unique: dict[str, CampaignJob] = {}
     for job in jobs:
         unique.setdefault(job.key(), job)
-    if not warm_start:
-        return CampaignPlan(jobs=jobs, order=list(unique.values()),
-                            warm_sources={})
-    groups: dict[tuple, list[CampaignJob]] = {}
-    for job in unique.values():
-        groups.setdefault(_group_key(job), []).append(job)
-    order: list[CampaignJob] = []
     warm_sources: dict[str, str] = {}
-    for members in groups.values():
-        members.sort(key=lambda j: (j.delta is not None, j.delta or 0.0))
-        for prev, job in zip(members, members[1:]):
-            warm_sources[job.key()] = prev.key()
-        order.extend(members)
-    return CampaignPlan(jobs=jobs, order=order, warm_sources=warm_sources)
+    warm_edges: dict[str, WarmEdge] = {}
+    if not warm_start:
+        order = list(unique.values())
+    else:
+        groups: dict[tuple, list[CampaignJob]] = {}
+        for job in unique.values():
+            groups.setdefault(_group_key(job), []).append(job)
+        order = []
+        for members in groups.values():
+            members.sort(
+                key=lambda j: (j.delta is not None, j.delta or 0.0))
+            for prev, job in zip(members, members[1:]):
+                _check_neighbour_edge(prev, job)
+                warm_sources[job.key()] = prev.key()
+                warm_edges[job.key()] = WarmEdge(
+                    source=prev.key(), kind="neighbour",
+                    n_source=prev.n, dtype_source=prev.dtype)
+            order.extend(members)
+    if ladder:
+        order = _insert_ladder_stages(order, warm_sources, warm_edges)
+    return CampaignPlan(jobs=jobs, order=order,
+                        warm_sources=warm_sources,
+                        warm_edges=warm_edges)

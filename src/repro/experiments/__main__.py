@@ -33,7 +33,11 @@ re-running the same command is served from disk instead of re-solving.
 ``--fig 5``/``--fig 6`` regenerates that figure's grid through the
 engine; ``--n`` runs a custom matrix over the given axes.  With
 ``--warm-start``, delta-sweep groups are chained so each solve starts
-from its neighbour's solution.  ``--min-cache-hits K`` exits non-zero
+from its neighbour's solution.  With ``--ladder``, every eligible
+float64 job gets a mixed-precision multigrid chain planned in front of
+it — half-size float32 solve, trilinearly interpolated float32 warm
+start, float64 polish to the requested tolerance — same verified STOP,
+less float64 work.  ``--min-cache-hits K`` exits non-zero
 when fewer than K jobs were served from cache — the CI smoke job uses
 it to assert that a second pass actually hits.  ``--drivers N`` runs
 independent campaign branches in N driver worker processes sharing the
@@ -161,6 +165,25 @@ def _matrix_jobs(args):
     return jobs, title
 
 
+def _reject_subfloor_tols(jobs) -> int:
+    """Refuse jobs whose tolerance their dtype cannot resolve.
+
+    The solver would raise the same :class:`ToleranceFloorError` at
+    construction; validating the matrix up front turns that into one
+    readable CLI error instead of a traceback from inside a solve (or a
+    driver worker).  Returns 0 when every job is fine.
+    """
+    from ..numerics import ToleranceFloorError, check_termination_tol
+
+    for job in jobs:
+        try:
+            check_termination_tol(job.tol, job.dtype)
+        except ToleranceFloorError as exc:
+            print(f"error: {job.label()}: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
 def _print_rows(rows, title) -> None:
     headers = sorted({k for row in rows for k in row})
     print()
@@ -173,6 +196,9 @@ def cmd_campaign(args) -> int:
 
     cache = _build_cache(args)
     jobs, title = _matrix_jobs(args)
+    rc = _reject_subfloor_tols(jobs)
+    if rc:
+        return rc
     print(f"{title}: {len(jobs)} job(s)"
           + (f", cache at {args.cache_dir}" if args.cache_dir else ""),
           flush=True)
@@ -182,7 +208,7 @@ def cmd_campaign(args) -> int:
               f"({record.wall_time:.2f}s wall)", flush=True)
 
     with Campaign(jobs, cache=cache, warm_start=args.warm_start,
-                  drivers=args.drivers) as campaign:
+                  ladder=args.ladder, drivers=args.drivers) as campaign:
         outcome = campaign.run(progress=progress)
         # Aggregated across driver workers; must be read before close()
         # shuts the pool down and drops its snapshots.
@@ -250,11 +276,14 @@ def cmd_submit(args) -> int:
     from ..service import ServiceClient, ServiceError
 
     jobs, title = _matrix_jobs(args)
+    rc = _reject_subfloor_tols(jobs)
+    if rc:
+        return rc
     client = ServiceClient(args.url)
     print(f"{title}: {len(jobs)} job(s) -> {args.url}", flush=True)
     try:
         cid = client.submit(jobs, warm_start=args.warm_start,
-                            tag=args.tag)
+                            ladder=args.ladder, tag=args.tag)
         print(f"campaign {cid} accepted", flush=True)
         status = client.wait(cid, timeout=args.timeout)
         if status["status"] != "done":
@@ -384,6 +413,11 @@ def _flag_parents():
     matrix.add_argument("--warm-start", action="store_true",
                         help="seed each delta-sweep solve from its "
                              "neighbour's solution")
+    matrix.add_argument("--ladder", action="store_true",
+                        help="plan a mixed-precision multigrid chain in "
+                             "front of each eligible float64 job: "
+                             "half-size float32 solve, interpolated "
+                             "float32 warm start, float64 polish")
     solver = argparse.ArgumentParser(add_help=False)
     solver.add_argument("--dtype", default="float64",
                         choices=["float64", "float32"])

@@ -32,10 +32,18 @@ from .obstacle import (
 from .projection import BoxConstraint, unconstrained
 from .tolerances import (
     SUPPORTED_DTYPES,
+    ToleranceFloorError,
     check_dtype,
+    check_termination_tol,
     equivalence_tol,
     min_termination_tol,
     resolve_dtype,
+)
+from .transfer import (
+    TRANSFER_VERSION,
+    prolong,
+    prolong_iterate,
+    restrict,
 )
 from .richardson import (
     FLOPS_PER_POINT,
@@ -55,7 +63,9 @@ __all__ = [
     "ObstacleProblem", "membrane_problem", "options_pricing_problem",
     "torsion_problem",
     "BoxConstraint", "unconstrained",
-    "SUPPORTED_DTYPES", "check_dtype", "equivalence_tol",
+    "SUPPORTED_DTYPES", "ToleranceFloorError", "check_dtype",
+    "check_termination_tol", "equivalence_tol",
     "min_termination_tol", "resolve_dtype",
+    "TRANSFER_VERSION", "prolong", "prolong_iterate", "restrict",
     "FLOPS_PER_POINT", "SolveResult", "projected_richardson", "relax_plane",
 ]

@@ -46,8 +46,10 @@ import numpy as np
 
 __all__ = [
     "SUPPORTED_DTYPES",
+    "ToleranceFloorError",
     "resolve_dtype",
     "check_dtype",
+    "check_termination_tol",
     "equivalence_tol",
     "min_termination_tol",
 ]
@@ -116,3 +118,45 @@ def equivalence_tol(dtype: DTypeLike) -> float:
 def min_termination_tol(dtype: DTypeLike) -> float:
     """Smallest convergence tolerance resolvable in ``dtype`` diffs."""
     return float(32 * np.finfo(resolve_dtype(dtype)).eps)
+
+
+class ToleranceFloorError(ValueError):
+    """A termination tolerance below what its dtype can resolve.
+
+    The one structured error for the sub-floor-tolerance condition,
+    raised at every entry boundary — solver construction, CLI job
+    validation, service schema decode — so each front end can turn the
+    same condition into its own shape (message + exit code, HTTP 400
+    with ``field``) instead of a stack trace.  A ``ValueError``
+    subclass: historical ``except ValueError`` call sites keep working.
+    """
+
+    #: The wire/CLI field the condition belongs to, for structured
+    #: error bodies.
+    field = "tolerance"
+
+    def __init__(self, tol: float, dtype: DTypeLike, floor: float):
+        self.tol = float(tol)
+        self.dtype = resolve_dtype(dtype).name
+        self.floor = float(floor)
+        super().__init__(
+            f"tol={self.tol:g} is below the {self.dtype} "
+            f"termination floor {self.floor:g} "
+            "(see repro.numerics.tolerances)"
+        )
+
+
+def check_termination_tol(tol: float, dtype: DTypeLike) -> float:
+    """Validate that ``tol`` is resolvable in ``dtype``; returns it.
+
+    Raises :class:`ToleranceFloorError` below
+    :func:`min_termination_tol` — the single validation every boundary
+    (solver, CLI, service schema, ladder planning) shares, so the floor
+    is enforced identically everywhere.
+    """
+    resolved = resolve_dtype(dtype)
+    floor = min_termination_tol(resolved)
+    tol = float(tol)
+    if tol < floor:
+        raise ToleranceFloorError(tol, resolved, floor)
+    return tol

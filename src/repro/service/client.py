@@ -99,9 +99,11 @@ class ServiceClient:
 
     def submit(self, jobs: Iterable[CampaignJob], *,
                warm_start: bool = False,
+               ladder: bool = False,
                tag: Optional[str] = None) -> str:
         """``POST /campaigns``; returns the campaign id."""
-        wire = submission_to_wire(jobs, warm_start=warm_start, tag=tag)
+        wire = submission_to_wire(jobs, warm_start=warm_start, tag=tag,
+                                  ladder=ladder)
         return self._request("POST", "/campaigns", wire)["id"]
 
     def status(self, cid: str) -> dict:

@@ -131,6 +131,7 @@ class _CampaignState:
         self.id = cid
         self.tag = submission.tag
         self.warm_start = submission.warm_start
+        self.ladder = submission.ladder
         self.plan = plan
         self.ckeys = ckeys
         self.signatures = signatures
@@ -277,7 +278,8 @@ class CampaignService:
         admission queue is full (503).
         """
         plan = plan_jobs(list(submission.jobs),
-                         warm_start=submission.warm_start)
+                         warm_start=submission.warm_start,
+                         ladder=submission.ladder)
         ckeys, signatures = resolve_cache_keys(plan)
         branches = [
             _Branch(tasks_for(plan, jobs, ckeys, signatures))

@@ -15,12 +15,16 @@ Envelope (``POST /campaigns``)::
       "version": 1,
       "jobs": [ {<CampaignJob.to_wire()>}, ... ],   # 1..MAX_JOBS
       "warm_start": false,                          # optional
+      "ladder": false,                              # optional
       "tag": "fig5-sweep"                           # optional, <= 120 chars
     }
 
 Errors raise :class:`SchemaError`, which carries a structured payload
 (``code`` / ``message`` / optional ``field``) the daemon returns as the
-JSON error body instead of a stack trace.
+JSON error body instead of a stack trace.  Decoding also enforces the
+per-dtype termination-tolerance floor: a job whose ``tol`` its dtype
+cannot resolve is a 400 with ``field="tolerance"``, not a 500 from the
+solver three layers down.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ import dataclasses
 from typing import Any, Iterable, Mapping, Optional
 
 from ..campaign.jobs import CampaignJob, WireError
+from ..numerics.tolerances import ToleranceFloorError, check_termination_tol
 
 __all__ = [
     "MAX_JOBS",
@@ -72,12 +77,14 @@ class Submission:
 
     jobs: tuple[CampaignJob, ...]
     warm_start: bool = False
+    ladder: bool = False
     tag: Optional[str] = None
 
 
 def submission_to_wire(jobs: Iterable[CampaignJob],
                        warm_start: bool = False,
-                       tag: Optional[str] = None) -> dict[str, Any]:
+                       tag: Optional[str] = None,
+                       ladder: bool = False) -> dict[str, Any]:
     """Encode a job list as a ``POST /campaigns`` body."""
     wire: dict[str, Any] = {
         "version": SCHEMA_VERSION,
@@ -85,6 +92,8 @@ def submission_to_wire(jobs: Iterable[CampaignJob],
     }
     if warm_start:
         wire["warm_start"] = True
+    if ladder:
+        wire["ladder"] = True
     if tag is not None:
         wire["tag"] = tag
     return wire
@@ -102,7 +111,8 @@ def submission_from_wire(payload: Any) -> Submission:
             f"unsupported schema version {version!r} (this service "
             f"speaks {SCHEMA_VERSION})", code="bad-version",
             field="version")
-    unknown = set(payload) - {"version", "jobs", "warm_start", "tag"}
+    unknown = set(payload) - {"version", "jobs", "warm_start", "ladder",
+                              "tag"}
     if unknown:
         raise SchemaError(f"unknown field(s) {sorted(unknown)}",
                           field=sorted(unknown)[0])
@@ -124,15 +134,26 @@ def submission_from_wire(payload: Any) -> Submission:
                 where += f".{exc.field}"
             raise SchemaError(f"{where}: {exc}", code="bad-job",
                               field=where) from None
+        try:
+            check_termination_tol(jobs[-1].tol, jobs[-1].dtype)
+        except ToleranceFloorError as exc:
+            raise SchemaError(f"jobs[{i}]: {exc}", code="bad-job",
+                              field="tolerance") from None
     warm_start = payload.get("warm_start", False)
     if not isinstance(warm_start, bool):
         raise SchemaError(
             f"'warm_start' must be a boolean, got {warm_start!r}",
             field="warm_start")
+    ladder = payload.get("ladder", False)
+    if not isinstance(ladder, bool):
+        raise SchemaError(
+            f"'ladder' must be a boolean, got {ladder!r}",
+            field="ladder")
     tag = payload.get("tag")
     if tag is not None and (not isinstance(tag, str)
                             or len(tag) > _MAX_TAG_CHARS):
         raise SchemaError(
             f"'tag' must be a string of at most {_MAX_TAG_CHARS} "
             f"characters", field="tag")
-    return Submission(jobs=tuple(jobs), warm_start=warm_start, tag=tag)
+    return Submission(jobs=tuple(jobs), warm_start=warm_start,
+                      ladder=ladder, tag=tag)

@@ -38,7 +38,7 @@ from ..numerics.obstacle import (
     options_pricing_problem,
     torsion_problem,
 )
-from ..numerics.tolerances import min_termination_tol, resolve_dtype
+from ..numerics.tolerances import check_termination_tol, resolve_dtype
 from ..p2psap.context import CommMode, Scheme
 from ..parallel.trace import active_recorder
 from ..resources import default_context, resolve_context
@@ -296,13 +296,7 @@ class _BlockSolver:
         # would make STOP decisions depend on rounding noise — rejected
         # here, once, before any peer starts sweeping.
         self.dtype = resolve_dtype(params.get("dtype"))
-        floor = min_termination_tol(self.dtype)
-        if self.tol < floor:
-            raise ValueError(
-                f"tol={self.tol:g} is below the {self.dtype.name} "
-                f"termination floor {floor:g} "
-                "(see repro.numerics.tolerances)"
-            )
+        self.tol = check_termination_tol(self.tol, self.dtype)
         self.max_relax = int(params.get("max_relaxations", 200_000))
         self.streak = int(params.get("streak", 3))
         self.checkpoint_every = int(params.get("checkpoint_every", 0))

@@ -102,6 +102,47 @@ class TestDiskCache:
     def test_missing_entry_is_miss(self, tmp_path):
         assert ResultCache(tmp_path).load("deadbeef") is None
 
+    def test_torn_pair_is_miss(self, tmp_path, solved):
+        """An entry with either file of its pair missing is a miss."""
+        cache = ResultCache(tmp_path)
+        key = _key()
+        cache.store(key, solved, signature={"dtype": "float64"})
+        (tmp_path / f"{key}.npy").unlink()
+        assert ResultCache(tmp_path).load(key) is None
+        cache.store(key, solved, signature={"dtype": "float64"})
+        (tmp_path / f"{key}.json").unlink()
+        assert ResultCache(tmp_path).load(key) is None
+
+    def test_dtype_mismatch_is_corruption_miss(self, tmp_path, solved):
+        """A stored .npy whose dtype disagrees with the signature in
+        its metadata pair — a torn/mismatched pair, e.g. after a
+        partial directory copy — is a warning and a miss, never a
+        wrongly-typed hit."""
+        cache = ResultCache(tmp_path)
+        key = _key()
+        sig = dict(CampaignJob(n=8, n_peers=2, tol=1e-3).signature())
+        cache.store(key, solved, signature=sig)
+        # Overwrite the array with a float32 copy, leaving the
+        # metadata claiming float64.
+        np.save(tmp_path / f"{key}.npy",
+                solved.report.u.astype(np.float32))
+        fresh = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="dtype"):
+            assert fresh.load(key) is None
+        assert fresh.misses == 1
+
+    def test_dtype_match_loads_clean(self, tmp_path, solved):
+        """The guard never fires on a healthy entry (no warning)."""
+        import warnings
+
+        cache = ResultCache(tmp_path)
+        key = _key()
+        sig = dict(CampaignJob(n=8, n_peers=2, tol=1e-3).signature())
+        cache.store(key, solved, signature=sig)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ResultCache(tmp_path).load(key) is not None
+
 
 class TestDiskLRUEviction:
     """The disk layer is bounded: stores evict least-recently-used

@@ -82,6 +82,37 @@ def test_fig_grid_through_engine(capsys):
     assert "Figure 5 grid" in out
 
 
+def test_ladder_flag_runs_and_caches(tmp_path, capsys):
+    """--ladder solves through the mixed-precision chain and a second
+    pass over the same cache is served for the whole chain (exactly
+    the CI smoke assertion)."""
+    args = ["campaign", "--n", "12", "--alphas", "1",
+            "--schemes", "synchronous", "--clusters", "1",
+            "--tol", "1e-3", "--ladder",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(args) == 0
+    assert main(args + ["--min-cache-hits", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "solved: 0" in out
+
+
+def test_sub_floor_tolerance_is_a_clean_error(capsys):
+    """A tolerance below the dtype's termination floor exits with a
+    one-line structured message on stderr — not a traceback from
+    inside the solver."""
+    rc = main(["campaign", "--n", "8", "--alphas", "1",
+               "--schemes", "synchronous", "--clusters", "1",
+               "--dtype", "float32", "--tol", "1e-7"])
+    assert rc == 2
+    captured = capsys.readouterr()
+    assert "termination floor" in captured.err
+    assert "error:" in captured.err
+    assert "float32" in captured.err
+    assert "Traceback" not in captured.err
+    # Nothing was solved; the matrix never reached the engine.
+    assert "solved:" not in captured.out
+
+
 def test_results_match_direct_harness(capsys):
     """The CLI is a front end, not a different solver: spot-check one
     cell against a direct run_configuration call."""

@@ -5,7 +5,9 @@ import pytest
 
 from repro.numerics.tolerances import (
     SUPPORTED_DTYPES,
+    ToleranceFloorError,
     check_dtype,
+    check_termination_tol,
     equivalence_tol,
     min_termination_tol,
     resolve_dtype,
@@ -67,3 +69,35 @@ class TestBounds:
         ratio = np.finfo(np.float32).eps / np.finfo(np.float64).eps
         assert min_termination_tol("float32") == \
             min_termination_tol("float64") * ratio
+
+
+class TestCheckTerminationTol:
+    """The one structured sub-floor-tolerance error every entry
+    boundary (solver, CLI, service schema, ladder planning) shares."""
+
+    def test_legal_tol_passes_through(self):
+        assert check_termination_tol(1e-4, "float32") == 1e-4
+        assert check_termination_tol(1e-12, "float64") == 1e-12
+
+    def test_floor_itself_is_legal(self):
+        floor = min_termination_tol("float32")
+        assert check_termination_tol(floor, "float32") == floor
+
+    @pytest.mark.parametrize("dtype,tol", [
+        ("float32", 1e-7), ("float64", 1e-16),
+    ])
+    def test_sub_floor_raises_structured_error(self, dtype, tol):
+        with pytest.raises(ToleranceFloorError,
+                           match="termination floor") as exc_info:
+            check_termination_tol(tol, dtype)
+        exc = exc_info.value
+        assert exc.tol == tol
+        assert exc.dtype == dtype
+        assert exc.floor == min_termination_tol(dtype)
+        assert exc.field == "tolerance"
+
+    def test_is_a_value_error(self):
+        """Historical ``except ValueError`` call sites keep working."""
+        assert issubclass(ToleranceFloorError, ValueError)
+        with pytest.raises(ValueError, match="termination floor"):
+            check_termination_tol(1e-8, "float32")

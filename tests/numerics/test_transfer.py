@@ -1,0 +1,167 @@
+"""Grid transfer operators: exactness, boundaries, constraints, dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import (
+    TRANSFER_VERSION,
+    membrane_problem,
+    prolong,
+    prolong_iterate,
+    restrict,
+)
+
+
+def _grid_points(n):
+    h = 1.0 / (n + 1)
+    x = (np.arange(n) + 1) * h
+    return np.meshgrid(x, x, x, indexing="ij")
+
+
+def _trilinear(n, coeffs=(1.0, 2.0, -3.0, 0.5), dtype=np.float64):
+    """c0 + c1·z + c2·y + c3·x sampled on the n³ interior grid — the
+    field family a trilinear interpolant must reproduce exactly."""
+    z, y, x = _grid_points(n)
+    c0, c1, c2, c3 = coeffs
+    return (c0 + c1 * z + c2 * y + c3 * x).astype(dtype)
+
+
+class TestProlongExactness:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("nc,nf", [(7, 15), (8, 16), (5, 17), (12, 19)])
+    def test_exact_on_trilinear_fields_with_extrapolation(
+            self, nc, nf, dtype):
+        fine = prolong(_trilinear(nc, dtype=dtype), nf,
+                       boundary="extrapolate")
+        want = _trilinear(nf, dtype=dtype)
+        tol = 16 * np.finfo(dtype).eps * 8  # |field| = O(1), few ops
+        assert fine.dtype == np.dtype(dtype)
+        assert np.abs(fine.astype(np.float64)
+                      - want.astype(np.float64)).max() < tol
+
+    def test_zero_boundary_exact_inside_coarse_hull(self):
+        nc, nf = 9, 21
+        hc = 1.0 / (nc + 1)
+        fine = prolong(_trilinear(nc), nf)  # zero Dirichlet padding
+        want = _trilinear(nf)
+        z, y, x = _grid_points(nf)
+        inside = ((z > hc) & (z < 1 - hc) & (y > hc) & (y < 1 - hc)
+                  & (x > hc) & (x < 1 - hc))
+        assert inside.any()
+        assert np.abs(fine - want)[inside].max() < 1e-12
+
+    def test_coincident_points_bit_exact(self):
+        """At n_f = 2·n_c + 1 every coarse point is a fine point; the
+        prolonged value there is the coarse value, bit for bit."""
+        nc = 7
+        nf = 2 * nc + 1
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((nc, nc, nc))
+        fine = prolong(u, nf, boundary="extrapolate")
+        assert np.array_equal(fine[1::2, 1::2, 1::2], u)
+
+    def test_zero_boundary_attenuates_toward_walls(self):
+        """With the zero-Dirichlet extension a constant-1 field decays
+        to the boundary: the fine corner point interpolates between the
+        interior 1s and the zero padding on all three axes."""
+        nc, nf = 4, 9
+        fine = prolong(np.ones((nc, nc, nc)), nf)
+        h_src, h_dst = 1.0 / (nc + 1), 1.0 / (nf + 1)
+        t = h_dst / h_src  # corner weight toward the interior, per axis
+        assert fine[0, 0, 0] == pytest.approx(t ** 3)
+        mid = nf // 2
+        assert fine[mid, mid, mid] == pytest.approx(1.0)
+
+
+class TestRestrict:
+    def test_round_trip_on_trilinear_fields(self):
+        nc, nf = 7, 15
+        u = _trilinear(nc)
+        back = restrict(prolong(u, nf, boundary="extrapolate"), nc,
+                        boundary="extrapolate")
+        assert np.abs(back - u).max() < 1e-12
+
+    def test_restrict_samples_coincident_points(self):
+        nc = 6
+        nf = 2 * nc + 1
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal((nf, nf, nf))
+        coarse = restrict(u, nc, boundary="extrapolate")
+        assert np.array_equal(coarse, u[1::2, 1::2, 1::2])
+
+
+class TestValidation:
+    def test_non_cubic_rejected(self):
+        with pytest.raises(ValueError, match="cubic"):
+            prolong(np.zeros((4, 4, 5)), 9)
+        with pytest.raises(ValueError, match="cubic"):
+            restrict(np.zeros((4, 5)), 2)
+
+    def test_bad_target_size_rejected(self):
+        with pytest.raises(ValueError, match="n_fine"):
+            prolong(np.zeros((4, 4, 4)), 0)
+        with pytest.raises(ValueError, match="n_coarse"):
+            restrict(np.zeros((4, 4, 4)), 0)
+
+    def test_bad_boundary_rejected(self):
+        with pytest.raises(ValueError, match="boundary"):
+            prolong(np.zeros((4, 4, 4)), 9, boundary="reflect")
+
+    def test_extrapolation_needs_two_interior_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            prolong(np.ones((1, 1, 1)), 3, boundary="extrapolate")
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            prolong(np.zeros((4, 4, 4)), 9, dtype="float16")
+
+
+class TestDeterminismAndDtype:
+    def test_float32_input_keeps_dtype(self):
+        out = prolong(np.ones((4, 4, 4), dtype=np.float32), 9)
+        assert out.dtype == np.float32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_explicit_dtype_overrides_input(self):
+        out = prolong(np.ones((4, 4, 4), dtype=np.float32), 9,
+                      dtype="float64")
+        assert out.dtype == np.float64
+
+    def test_arithmetic_is_float64_internal(self):
+        """A float32 input prolonged as float64 matches prolonging the
+        widened input exactly — the interpolation never rounds through
+        float32."""
+        rng = np.random.default_rng(11)
+        u32 = rng.standard_normal((6, 6, 6)).astype(np.float32)
+        a = prolong(u32, 13, dtype="float64")
+        b = prolong(u32.astype(np.float64), 13)
+        assert np.array_equal(a, b)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        u = rng.standard_normal((5, 5, 5))
+        assert np.array_equal(prolong(u, 11), prolong(u, 11))
+
+    def test_version_constant(self):
+        assert isinstance(TRANSFER_VERSION, int)
+        assert TRANSFER_VERSION >= 1
+
+
+class TestProlongIterate:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_feasible_in_solve_dtype(self, dtype):
+        problem = membrane_problem(12)
+        rng = np.random.default_rng(13)
+        coarse = rng.standard_normal((6, 6, 6))
+        seed = prolong_iterate(coarse, problem, dtype)
+        assert seed.shape == (12, 12, 12)
+        assert seed.dtype == np.dtype(dtype)
+        lower = np.asarray(problem.constraint.lower, dtype=seed.dtype)
+        assert (seed >= lower).all()  # exactly feasible, no tolerance
+
+    def test_projection_clips_against_obstacle(self):
+        problem = membrane_problem(12)
+        below = np.full((6, 6, 6), -100.0)
+        seed = prolong_iterate(below, problem, "float64")
+        lower = np.asarray(problem.constraint.lower)
+        assert np.array_equal(seed, lower.reshape(seed.shape))

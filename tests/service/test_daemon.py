@@ -255,6 +255,37 @@ class TestProtocolErrors:
         assert body["error"]["code"] == "bad-job"
         assert body["error"]["field"] == "jobs[0].tol"
 
+    def test_sub_floor_tolerance_is_400_not_500(self, daemon):
+        """Satellite: a float32 job below its termination floor is
+        refused at the schema boundary with ``field="tolerance"`` —
+        previously it reached the solver and surfaced as a 500."""
+        wire = submission_to_wire(jobs_matrix(peers=(1,)))
+        wire["jobs"][0]["dtype"] = "float32"
+        wire["jobs"][0]["tol"] = (1e-7).hex()
+        status, body = post_raw(daemon, "/campaigns",
+                                json.dumps(wire).encode())
+        assert status == 400
+        assert body["error"]["code"] == "bad-job"
+        assert body["error"]["field"] == "tolerance"
+        assert "termination floor" in body["error"]["message"]
+
+    def test_ladder_submission_end_to_end(self, client):
+        """A laddered submission solves through the daemon: the
+        submitted float64 job comes back warm-started from the ladder
+        chain, bit-identical to a local laddered Campaign."""
+        job = CampaignJob(n=12, n_peers=1, n_clusters=1,
+                          scheme="synchronous", tol=1e-3)
+        cid = client.submit([job], ladder=True, tag="ladder-e2e")
+        assert client.wait(cid, timeout=120)["status"] == "done"
+        [entry] = client.results(cid)["jobs"]
+        assert entry["provenance"]["warm_start"].endswith(
+            ":cast@float32")
+        with Campaign([job], ladder=True) as campaign:
+            [local] = campaign.run().records
+        assert entry["cache_key"] == local.cache_key
+        assert entry["row"]["relaxations"] \
+            == local.result.relaxations
+
     def test_unknown_campaign_404(self, client):
         with pytest.raises(ServiceError) as err:
             client.status("c999999")

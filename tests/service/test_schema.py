@@ -162,6 +162,40 @@ class TestSubmissionEnvelope:
         with pytest.raises(SchemaError, match="tag"):
             submission_from_wire({**base, "tag": "x" * 500})
 
+    def test_ladder_round_trip(self):
+        wire = submission_to_wire([job()], ladder=True)
+        decoded = submission_from_wire(json.loads(json.dumps(wire)))
+        assert decoded.ladder is True
+        # Not emitted (and decoded False) when off — old clients'
+        # envelopes are unchanged byte-for-byte.
+        off = submission_to_wire([job()])
+        assert "ladder" not in off
+        assert submission_from_wire(off).ladder is False
+
+    def test_bad_ladder_rejected(self):
+        base = {"version": SCHEMA_VERSION, "jobs": [job().to_wire()]}
+        with pytest.raises(SchemaError, match="ladder") as err:
+            submission_from_wire({**base, "ladder": "yes"})
+        assert err.value.field == "ladder"
+
+    def test_sub_floor_tolerance_is_structured_400(self):
+        """Satellite: a float32 job below its termination floor is a
+        schema rejection with ``field="tolerance"`` — the daemon turns
+        it into a 400, never a 500 from inside a driver."""
+        bad = job(dtype="float32")
+        wire = bad.to_wire()
+        wire["tol"] = (1e-7).hex()  # below the float32 floor
+        with pytest.raises(SchemaError,
+                           match="termination floor") as err:
+            submission_from_wire(
+                {"version": SCHEMA_VERSION,
+                 "jobs": [job().to_wire(), wire]})
+        assert err.value.code == "bad-job"
+        assert err.value.field == "tolerance"
+        assert "jobs[1]" in str(err.value)
+        body = err.value.payload()
+        assert body["error"]["field"] == "tolerance"
+
 
 class TestUnifiedRunPath:
     def test_run_configuration_equals_job_run(self):
